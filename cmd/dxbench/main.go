@@ -1,0 +1,113 @@
+// Command dxbench regenerates the paper's tables and figures on the
+// simulated machines.
+//
+// Usage:
+//
+//	dxbench                  # run every experiment at paper scale
+//	dxbench -experiment F6   # run one experiment
+//	dxbench -list            # list experiment IDs and titles
+//	dxbench -quick           # reduced sweep sizes
+//	dxbench -n 65536         # bulk operation size
+//	dxbench -seed 7          # RNG seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"dxbsp/internal/experiments"
+	"dxbsp/internal/tablefmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams and arguments, for testing.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dxbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		expID  = fs.String("experiment", "", "experiment ID to run (default: all)")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		quick  = fs.Bool("quick", false, "use reduced sweep sizes")
+		n      = fs.Int("n", 0, "bulk operation size (default 65536, or 4096 with -quick)")
+		seed   = fs.Uint64("seed", 0, "random seed (default: built-in)")
+		format = fs.String("format", "text", "output format: text, csv, or plot (ASCII chart)")
+		logx   = fs.Bool("logx", false, "log-scale x axis for -format plot")
+		logy   = fs.Bool("logy", false, "log-scale y axis for -format plot")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "csv" && *format != "plot" {
+		fmt.Fprintf(stderr, "dxbench: unknown format %q\n", *format)
+		return 2
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return 0
+	}
+
+	cfg := experiments.DefaultConfig()
+	if *quick {
+		cfg = experiments.QuickConfig()
+	}
+	if *n > 0 {
+		cfg.N = *n
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	todo := experiments.All()
+	if *expID != "" {
+		e, ok := experiments.Lookup(*expID)
+		if !ok {
+			fmt.Fprintf(stderr, "dxbench: unknown experiment %q (use -list)\n", *expID)
+			return 2
+		}
+		todo = []experiments.Experiment{e}
+	}
+
+	for i, e := range todo {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		start := time.Now()
+		r := e.Run(cfg)
+		switch *format {
+		case "csv":
+			if c, ok := r.(csvRenderer); ok {
+				c.RenderCSV(stdout)
+			} else {
+				r.Render(stdout)
+			}
+			continue
+		case "plot":
+			opt := tablefmt.PlotOptions{LogX: *logx, LogY: *logy}
+			if tbl, ok := r.(*tablefmt.Table); ok && tablefmt.PlotTable(stdout, tbl, nil, opt) {
+				continue
+			}
+			if ser, ok := r.(*tablefmt.Series); ok {
+				ser.RenderPlot(stdout, opt)
+				continue
+			}
+			fmt.Fprintf(stderr, "dxbench: %s is not plottable; falling back to text\n", e.ID)
+		}
+		r.Render(stdout)
+		fmt.Fprintf(stdout, "[%s in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return 0
+}
+
+// csvRenderer is satisfied by tablefmt.Table and tablefmt.Series.
+type csvRenderer interface {
+	RenderCSV(w io.Writer)
+}

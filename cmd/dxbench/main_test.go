@@ -1,0 +1,85 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func runBench(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestRunList(t *testing.T) {
+	out, _, code := runBench(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"T1", "F2", "F13", "X13"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("list missing %s", want)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, _, code := runBench(t, "-quick", "-experiment", "T1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "Cray C90") || !strings.Contains(out, "[T1 in") {
+		t.Errorf("T1 output:\n%s", out)
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	out, _, code := runBench(t, "-quick", "-experiment", "T1", "-format", "csv")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(out, "machine,") {
+		t.Errorf("csv output:\n%s", out)
+	}
+	if strings.Contains(out, "==") {
+		t.Error("csv output contains table decoration")
+	}
+}
+
+func TestRunPlotFormat(t *testing.T) {
+	out, _, code := runBench(t, "-quick", "-experiment", "F2", "-format", "plot", "-logx", "-logy")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "|") || !strings.Contains(out, "J90 sim") {
+		t.Errorf("plot output:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, errOut, code := runBench(t, "-experiment", "NOPE"); code != 2 || !strings.Contains(errOut, "unknown experiment") {
+		t.Errorf("unknown experiment: code=%d err=%q", code, errOut)
+	}
+	if _, errOut, code := runBench(t, "-format", "xml"); code != 2 || !strings.Contains(errOut, "unknown format") {
+		t.Errorf("unknown format: code=%d err=%q", code, errOut)
+	}
+	if _, _, code := runBench(t, "-badflag"); code != 2 {
+		t.Errorf("bad flag accepted: code=%d", code)
+	}
+}
+
+func TestRunSeedAndN(t *testing.T) {
+	a, _, _ := runBench(t, "-quick", "-experiment", "F3", "-seed", "5", "-n", "2048")
+	b, _, _ := runBench(t, "-quick", "-experiment", "F3", "-seed", "5", "-n", "2048")
+	stripTime := func(s string) string {
+		i := strings.LastIndex(s, "[F3")
+		if i < 0 {
+			return s
+		}
+		return s[:i]
+	}
+	if stripTime(a) != stripTime(b) {
+		t.Error("same seed produced different output")
+	}
+}

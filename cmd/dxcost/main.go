@@ -1,0 +1,103 @@
+// Command dxcost costs a declarative workload description (JSON) under
+// the BSP, (d,x)-BSP and (d,x)-LogP models, optionally validating against
+// the bank simulator — performance modeling for a sketched algorithm
+// without writing Go.
+//
+// Usage:
+//
+//	dxcost workload.json
+//	dxcost -machine C90 -simulate < workload.json
+//
+// Workload format (see internal/program):
+//
+//	{
+//	  "name": "my-algorithm",
+//	  "seed": 7,
+//	  "supersteps": [
+//	    {"name": "gather x", "pattern": {"kind": "zipf", "n": 65536, "m": 65536, "s": 1.1}},
+//	    {"name": "hot hook", "pattern": {"kind": "contention", "n": 65536, "k": 4096}, "repeat": 10},
+//	    {"name": "local",    "compute": 20000}
+//	  ]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/program"
+	"dxbsp/internal/tablefmt"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams, for testing.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dxcost", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		machine  = fs.String("machine", "J90", "machine name (J90, C90, or a Table 1 entry)")
+		overhead = fs.Float64("o", 0, "per-message overhead for the (d,x)-LogP column")
+		simulate = fs.Bool("simulate", false, "also run each superstep through the bank simulator")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	m, ok := core.LookupMachine(*machine)
+	if !ok {
+		return fail(stderr, "unknown machine %q", *machine)
+	}
+
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return fail(stderr, "%v", err)
+		}
+		defer f.Close()
+		in = f
+	}
+	p, err := program.Parse(in)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+	rep, err := program.Cost(p, m, *overhead, *simulate)
+	if err != nil {
+		return fail(stderr, "%v", err)
+	}
+
+	headers := []string{"superstep", "xN", "requests", "κ", "BSP", "(d,x)-BSP", "(d,x)-LogP"}
+	if *simulate {
+		headers = append(headers, "simulated")
+	}
+	t := tablefmt.New(fmt.Sprintf("%s on %s", p.Name, m), headers...)
+	for _, sc := range rep.Steps {
+		row := []interface{}{sc.Name, sc.Repeat, sc.Requests, sc.Kappa, sc.BSP, sc.DXBSP, sc.DXLogP}
+		if *simulate {
+			row = append(row, sc.Sim)
+		}
+		t.AddRow(row...)
+	}
+	total := []interface{}{"TOTAL", "", "", "", rep.TotalBSP, rep.TotalDXBSP, rep.TotalDXLogP}
+	if *simulate {
+		total = append(total, rep.TotalSim)
+	}
+	t.AddRow(total...)
+	t.Render(stdout)
+
+	if rep.TotalBSP > 0 {
+		fmt.Fprintf(stdout, "\nBSP underpredicts by %.2fx on this workload.\n", rep.TotalDXBSP/rep.TotalBSP)
+	}
+	return 0
+}
+
+func fail(stderr io.Writer, format string, args ...interface{}) int {
+	fmt.Fprintf(stderr, "dxcost: "+format+"\n", args...)
+	return 2
+}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const wl = `{
+  "name": "t",
+  "supersteps": [
+    {"name": "hot", "pattern": {"kind": "contention", "n": 4096, "k": 512}},
+    {"name": "calc", "compute": 100}
+  ]
+}`
+
+func TestRunFromStdin(t *testing.T) {
+	var out, errb strings.Builder
+	code := run(nil, strings.NewReader(wl), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"hot", "calc", "TOTAL", "(d,x)-BSP", "underpredicts"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunFromFile(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-simulate", "../../testdata/workload.json"}, nil, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "simulated") {
+		t.Errorf("missing simulated column:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "example-irregular-app") {
+		t.Error("workload name missing")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb strings.Builder
+	if code := run([]string{"-machine", "ENIAC"}, strings.NewReader(wl), &out, &errb); code != 2 {
+		t.Errorf("bad machine: %d", code)
+	}
+	errb.Reset()
+	if code := run(nil, strings.NewReader("{"), &out, &errb); code != 2 {
+		t.Errorf("bad json: %d", code)
+	}
+	if code := run([]string{"/nonexistent/file.json"}, nil, &out, &errb); code != 2 {
+		t.Errorf("missing file: %d", code)
+	}
+	if code := run([]string{"-nope"}, nil, &out, &errb); code != 2 {
+		t.Errorf("bad flag: %d", code)
+	}
+}

@@ -1,0 +1,145 @@
+// Command dxsim runs a single bulk scatter/gather through the bank
+// simulator and the (d,x)-BSP predictors and reports the contention
+// profile, model predictions, and simulated cycles.
+//
+// Usage:
+//
+//	dxsim -machine J90 -pattern contention -k 1024 -n 65536
+//	dxsim -machine C90 -pattern uniform -m 4096
+//	dxsim -machine J90 -pattern entropy -rounds 4 -hash linear
+//	dxsim -machine J90 -pattern stride -stride 512
+//
+// Patterns: contention (k duplicates/location), uniform (over [0,m)),
+// entropy (Thearling–Smith with -rounds AND rounds), stride, allsame,
+// permutation, worstbank, zipf (-s exponent over [0,m)).
+// Hash maps: interleave (default), linear, quadratic, cubic.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/hashfn"
+	"dxbsp/internal/patterns"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/sim"
+	"dxbsp/internal/stats"
+)
+
+func main() {
+	var (
+		machine  = flag.String("machine", "J90", "machine name (J90, C90, or a Table 1 entry)")
+		pattern  = flag.String("pattern", "uniform", "access pattern family")
+		n        = flag.Int("n", 1<<16, "number of requests")
+		k        = flag.Int("k", 16, "location contention for -pattern contention")
+		m        = flag.Uint64("m", 1<<20, "address range for -pattern uniform/entropy")
+		rounds   = flag.Int("rounds", 2, "AND rounds for -pattern entropy")
+		stride   = flag.Uint64("stride", 1, "stride for -pattern stride")
+		hash     = flag.String("hash", "interleave", "bank map: interleave, linear, quadratic, cubic")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		sections = flag.Bool("sections", false, "model network section bandwidth")
+		window   = flag.Int("window", 0, "max outstanding requests per processor (0 = unlimited)")
+		zipfS    = flag.Float64("s", 1.1, "Zipf exponent for -pattern zipf")
+	)
+	flag.Parse()
+
+	mach, ok := core.LookupMachine(*machine)
+	if !ok {
+		fail("unknown machine %q", *machine)
+	}
+	g := rng.New(*seed)
+
+	var addrs []uint64
+	switch *pattern {
+	case "contention":
+		if *n%*k != 0 {
+			fail("-k must divide -n")
+		}
+		addrs = patterns.Contention(*n, *k, 1)
+	case "uniform":
+		addrs = patterns.Uniform(*n, *m, g)
+	case "entropy":
+		addrs = patterns.Entropy(*n, nextPow2(*m), *rounds, g)
+	case "stride":
+		addrs = patterns.Strided(*n, 0, *stride)
+	case "allsame":
+		addrs = patterns.AllSame(*n, 0)
+	case "permutation":
+		addrs = patterns.Permutation(*n, g)
+	case "worstbank":
+		addrs = patterns.WorstCaseBank(*n, mach.Banks)
+	case "zipf":
+		addrs = patterns.Zipf(*n, int(*m), *zipfS, g)
+	default:
+		fail("unknown pattern %q", *pattern)
+	}
+
+	var bm core.BankMap = core.InterleaveMap{Banks: mach.Banks}
+	if *hash != "interleave" {
+		bits := hashfn.Log2Banks(mach.Banks)
+		switch *hash {
+		case "linear":
+			bm = hashfn.Map{F: hashfn.NewLinear(bits, g)}
+		case "quadratic":
+			bm = hashfn.Map{F: hashfn.NewQuadratic(bits, g)}
+		case "cubic":
+			bm = hashfn.Map{F: hashfn.NewCubic(bits, g)}
+		default:
+			fail("unknown hash %q", *hash)
+		}
+	}
+
+	pt := core.NewPattern(addrs, mach.Procs)
+	prof := core.ComputeProfile(pt, bm)
+	r, err := sim.Run(sim.Config{
+		Machine: mach, BankMap: bm, UseSections: *sections, Window: *window,
+	}, pt)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	fmt.Printf("machine    %v\n", mach)
+	fmt.Printf("pattern    %s, n=%d\n", *pattern, prof.N)
+	fmt.Printf("profile    h=%d  bank k=%d  location κ=%d  distinct=%d  bank-load gini=%.3f\n",
+		prof.MaxH, prof.MaxK, prof.MaxLoc, prof.DistinctLocs, stats.Gini(prof.BankLoads))
+	spectrum := core.LocationSpectrum(pt)
+	levels := make([]int, 0, len(spectrum))
+	for c := range spectrum {
+		levels = append(levels, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(levels)))
+	if len(levels) > 4 {
+		levels = levels[:4]
+	}
+	fmt.Printf("spectrum   ")
+	for _, c := range levels {
+		fmt.Printf("κ=%d ×%d  ", c, spectrum[c])
+	}
+	fmt.Println()
+	fmt.Printf("predicted  BSP=%.0f  (d,x)-BSP=%.0f cycles\n",
+		mach.PredictBSP(prof), mach.PredictDXBSP(prof))
+	fmt.Printf("simulated  %.0f cycles  (%.3f cycles/element, ratio to (d,x)-BSP %.3f)\n",
+		r.Cycles, core.CyclesPerElement(r.Cycles, prof.N, mach.Procs),
+		r.Cycles/mach.PredictDXBSP(prof))
+	fmt.Printf("banks      max served=%d  max queue=%d  busy=%.0f cycles total\n",
+		r.MaxBankServed, r.MaxBankQueue, r.BankBusy)
+	if *sections {
+		fmt.Printf("sections   max queue=%d\n", r.MaxSectionQueue)
+	}
+}
+
+func nextPow2(v uint64) uint64 {
+	p := uint64(1)
+	for p < v {
+		p *= 2
+	}
+	return p
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "dxsim: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,14 @@
+package main
+
+import "testing"
+
+func TestNextPow2(t *testing.T) {
+	cases := map[uint64]uint64{
+		1: 1, 2: 2, 3: 4, 5: 8, 1000: 1024, 1024: 1024,
+	}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+
+	"dxbsp/internal/core"
+)
+
+func TestBankMapSelection(t *testing.T) {
+	m := core.J90()
+	for _, name := range []string{"interleave", "linear", "quadratic", "cubic"} {
+		bm, err := bankMap(m, name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if bm.NumBanks() != m.Banks {
+			t.Errorf("%s: NumBanks = %d, want %d", name, bm.NumBanks(), m.Banks)
+		}
+		// Mapping must be total and in range.
+		for a := uint64(0); a < 1000; a++ {
+			if b := bm.Bank(a); b < 0 || b >= m.Banks {
+				t.Fatalf("%s: Bank(%d) = %d", name, a, b)
+			}
+		}
+	}
+	if _, err := bankMap(m, "sha256", 1); err == nil {
+		t.Error("unknown hash accepted")
+	}
+}
+
+func TestBankMapDeterministicPerSeed(t *testing.T) {
+	m := core.J90()
+	a, _ := bankMap(m, "linear", 7)
+	b, _ := bankMap(m, "linear", 7)
+	for x := uint64(0); x < 100; x++ {
+		if a.Bank(x) != b.Bank(x) {
+			t.Fatal("same seed gave different maps")
+		}
+	}
+}

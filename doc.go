@@ -1,0 +1,11 @@
+// Package dxbsp reproduces "Accounting for Memory Bank Contention and
+// Delay in High-Bandwidth Multiprocessors" (Blelloch, Gibbons, Matias,
+// Zagha; SPAA 1995): the (d,x)-BSP machine model, a cycle-level memory
+// bank simulator standing in for the Cray C90/J90, universal hashing for
+// pseudo-random bank maps, a QRQW PRAM emulation layer, and the paper's
+// algorithm studies.
+//
+// Start with internal/core for the model, internal/sim for the simulator,
+// and cmd/dxbench to regenerate every table and figure. See README.md,
+// DESIGN.md and EXPERIMENTS.md.
+package dxbsp

@@ -1,0 +1,49 @@
+// Breadth-first search with contention accounting: frontier expansion on
+// hub-heavy graphs concentrates gathers and scatters on high-degree
+// vertices — the irregular access pattern class the (d,x)-BSP was built
+// to price.
+//
+// Run with: go run ./examples/bfs
+package main
+
+import (
+	"fmt"
+
+	"dxbsp/internal/algos"
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/vector"
+)
+
+func main() {
+	const n = 1 << 14
+	graphs := []struct {
+		name string
+		g    *algos.Graph
+		src  int64
+	}{
+		{"path", algos.PathGraph(n), 0},
+		{"random m=4n", algos.RandomGraph(n, 4*n, rng.New(1)), 0},
+		{"star (from leaf)", algos.StarGraph(n), 1},
+	}
+	fmt.Printf("%-18s %8s %10s %14s %14s %12s\n",
+		"graph", "levels", "maxdeg", "cycles", "cycles/vertex", "contention")
+	for _, gr := range graphs {
+		a := algos.BuildAdj(gr.g)
+		vm := vector.New(core.J90())
+		res := algos.BFS(vm, a, gr.src)
+
+		// Verify against the serial traversal before reporting.
+		want := algos.SerialBFS(a, gr.src)
+		for v := range want {
+			if res.Level[v] != want[v] {
+				panic("BFS mismatch on " + gr.name)
+			}
+		}
+		fmt.Printf("%-18s %8d %10d %14.0f %14.2f %12d\n",
+			gr.name, res.Levels, a.MaxDegree(), vm.Cycles(),
+			vm.Cycles()/float64(gr.g.N), res.MaxContention)
+	}
+	fmt.Println("\nHub-heavy graphs buy short frontiers at the price of concentrated access;")
+	fmt.Println("the per-vertex cycle figures show the (d,x)-BSP charging exactly that.")
+}

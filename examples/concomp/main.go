@@ -1,0 +1,49 @@
+// Connected components with per-phase contention reporting: the paper's
+// final algorithm experiment. Random-mate hooking concentrates writes on
+// popular roots and shortcutting concentrates reads on the parents of
+// large trees; graph structure controls how hot those spots get.
+//
+// Run with: go run ./examples/concomp
+package main
+
+import (
+	"fmt"
+
+	"dxbsp/internal/algos"
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/vector"
+)
+
+func main() {
+	const n = 1 << 14
+	graphs := []struct {
+		name string
+		g    *algos.Graph
+	}{
+		{"path (low hook contention)", algos.PathGraph(n)},
+		{"random m=2n", algos.RandomGraph(n, 2*n, rng.New(3))},
+		{"star (hub contention)", algos.StarGraph(n)},
+	}
+
+	for _, gr := range graphs {
+		vm := vector.New(core.J90())
+		res := algos.ConnectedComponents(vm, gr.g, rng.New(11))
+
+		// Verify the labeling before reporting timings.
+		if !algos.SameComponents(res.Labels, algos.SerialComponents(gr.g)) {
+			panic("wrong components for " + gr.name)
+		}
+
+		fmt.Printf("%s: %d vertices, %d edges, %d rounds, %.0f cycles total\n",
+			gr.name, gr.g.N, gr.g.M(), res.Rounds, vm.Cycles())
+		for _, phase := range []string{"hook", "shortcut", "contract"} {
+			st := res.Phases[phase]
+			fmt.Printf("  %-9s %3d supersteps  %12.0f cycles  max contention %d\n",
+				phase, st.Supersteps, st.Cycles, st.MaxContention)
+		}
+		fmt.Println()
+	}
+	fmt.Println("The star drives hook contention to ~n immediately; the path hooks stay at 2.")
+	fmt.Println("Shortcut contention grows in every graph as components coalesce onto few roots.")
+}

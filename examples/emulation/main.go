@@ -1,0 +1,62 @@
+// QRQW PRAM emulation demo: run the same QRQW program on (d,x)-BSP
+// machines with different bank delays and expansion factors, and watch
+// the emulation stay work-preserving exactly when the theory says it can
+// (Section 5 of the paper).
+//
+// Run with: go run ./examples/emulation
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/hashfn"
+	"dxbsp/internal/qrqw"
+	"dxbsp/internal/rng"
+)
+
+func main() {
+	const (
+		p     = 8
+		v     = 1 << 14 // virtual processors (slackness v/p = 2048)
+		steps = 4
+	)
+	prog := qrqw.RandomProgram(v, steps, 1<<34, rng.New(1))
+	fmt.Printf("QRQW program: v=%d virtual processors, %d steps, QRQW time %d\n\n",
+		v, steps, prog.Time())
+	fmt.Printf("%-22s %10s %12s %14s %12s\n",
+		"machine", "slowdown", "v/p optimal", "work overhead", "d/x floor")
+
+	for _, cfg := range []struct {
+		d float64
+		x int
+	}{
+		{d: 4, x: 1}, {d: 16, x: 2}, {d: 16, x: 16}, {d: 16, x: 64}, {d: 64, x: 64},
+	} {
+		m := core.Machine{
+			Name:  fmt.Sprintf("d=%g x=%d", cfg.d, cfg.x),
+			Procs: p, Banks: p * cfg.x, D: cfg.d, G: 1, L: 64,
+		}
+		bm := hashfn.Map{F: hashfn.NewLinear(hashfn.Log2Banks(m.Banks), rng.New(7))}
+		res, err := qrqw.Emulate(prog, m, bm, qrqw.Analytic)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-22s %10.0f %12.0f %14.2f %12.2f\n",
+			m.Name, res.Slowdown(), float64(v)/float64(p),
+			res.WorkOverhead(), qrqw.InevitableWorkOverhead(m))
+	}
+
+	fmt.Println("\nRequired slackness for work preservation with overhead alpha=2 (Thm 5.2):")
+	for _, d := range []float64{2, 8, 32, 56} {
+		m := core.Machine{Name: "q", Procs: p, Banks: p * 64, D: d, G: 1, L: 64}
+		s := qrqw.MinSlacknessWorkPreserving(m, 2)
+		if math.IsInf(s, 1) {
+			fmt.Printf("  d=%-3g x=64: impossible (alpha below d/x)\n", d)
+		} else {
+			fmt.Printf("  d=%-3g x=64: v/p >= %.0f\n", d, s)
+		}
+	}
+	fmt.Println("\nExpansion compensates for delay; the required slackness is the nonlinear price.")
+}

@@ -1,0 +1,41 @@
+// Random permutation race: the QRQW dart-throwing algorithm against the
+// EREW radix-sort approach (the paper's Figure 11). The QRQW algorithm
+// tolerates a little well-accounted contention per round and wins across
+// the whole sweep.
+//
+// Run with: go run ./examples/permutation
+package main
+
+import (
+	"fmt"
+
+	"dxbsp/internal/algos"
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/vector"
+)
+
+func main() {
+	fmt.Println("random permutation generation on the simulated J90")
+	fmt.Printf("\n%-10s %14s %8s %12s %14s %10s\n",
+		"n", "QRQW cycles", "rounds", "contention", "EREW cycles", "EREW/QRQW")
+
+	for n := 1 << 10; n <= 1<<18; n <<= 2 {
+		vmQ := vector.New(core.J90())
+		q := algos.RandomPermuteQRQW(vmQ, n, rng.New(uint64(n)))
+		if !algos.IsPermutation(q.Perm) {
+			panic("QRQW produced a non-permutation")
+		}
+
+		vmE := vector.New(core.J90())
+		e := algos.RandomPermuteEREW(vmE, n, 40, rng.New(uint64(n)))
+		if !algos.IsPermutation(e.Perm) {
+			panic("EREW produced a non-permutation")
+		}
+
+		fmt.Printf("%-10d %14.0f %8d %12d %14.0f %10.2f\n",
+			n, vmQ.Cycles(), q.Rounds, q.MaxContention, vmE.Cycles(),
+			vmE.Cycles()/vmQ.Cycles())
+	}
+	fmt.Println("\nAllowing bounded, well-accounted contention beats avoiding it entirely.")
+}

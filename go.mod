@@ -1,0 +1,3 @@
+module dxbsp
+
+go 1.22

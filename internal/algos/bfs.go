@@ -1,0 +1,177 @@
+package algos
+
+import (
+	"fmt"
+
+	"dxbsp/internal/vector"
+)
+
+// This file implements level-synchronous breadth-first search, the
+// canonical irregular frontier algorithm on the class of machines the
+// paper models. Each level gathers the adjacency lists of the frontier
+// and scatters level labels to the discovered vertices; the contention
+// carrier is the scatter — many frontier edges discover the same popular
+// vertex simultaneously, so per-location contention tracks the in-degree
+// of hubs, exactly the quantity the (d,x)-BSP charges and BSP misses.
+
+// AdjGraph is a graph in adjacency (CSR) form for traversal.
+type AdjGraph struct {
+	N      int
+	AdjPtr []int64 // len N+1
+	Adj    []int64 // concatenated neighbor lists
+}
+
+// BuildAdj converts an edge list into symmetric adjacency form.
+func BuildAdj(gr *Graph) *AdjGraph {
+	if err := gr.Validate(); err != nil {
+		panic(err)
+	}
+	deg := make([]int64, gr.N)
+	for i := range gr.U {
+		if gr.U[i] == gr.V[i] {
+			continue // self-loops add nothing to traversal
+		}
+		deg[gr.U[i]]++
+		deg[gr.V[i]]++
+	}
+	a := &AdjGraph{N: gr.N, AdjPtr: make([]int64, gr.N+1)}
+	for v := 0; v < gr.N; v++ {
+		a.AdjPtr[v+1] = a.AdjPtr[v] + deg[v]
+	}
+	a.Adj = make([]int64, a.AdjPtr[gr.N])
+	fill := make([]int64, gr.N)
+	copy(fill, a.AdjPtr[:gr.N])
+	for i := range gr.U {
+		u, v := gr.U[i], gr.V[i]
+		if u == v {
+			continue
+		}
+		a.Adj[fill[u]] = v
+		fill[u]++
+		a.Adj[fill[v]] = u
+		fill[v]++
+	}
+	return a
+}
+
+// MaxDegree returns the largest vertex degree.
+func (a *AdjGraph) MaxDegree() int64 {
+	var m int64
+	for v := 0; v < a.N; v++ {
+		if d := a.AdjPtr[v+1] - a.AdjPtr[v]; d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// BFSResult reports a traversal.
+type BFSResult struct {
+	// Level[v] is the BFS distance from the source, or -1 if unreachable.
+	Level []int64
+	// Levels is the number of frontier expansions performed.
+	Levels int
+	// MaxContention is the largest per-location contention of any
+	// superstep (≈ the largest simultaneous in-discovery of one vertex).
+	MaxContention int
+}
+
+// BFS runs level-synchronous breadth-first search from src on vm.
+// Per level: gather the frontier's adjacency spans, expand them into an
+// edge frontier (segmented structure), gather the neighbors' current
+// levels, and scatter the new level into undiscovered neighbors.
+func BFS(vm *vector.Machine, a *AdjGraph, src int64) BFSResult {
+	if src < 0 || src >= int64(a.N) {
+		panic(fmt.Sprintf("algos: BFS source %d out of range", src))
+	}
+	level := vm.Alloc(a.N)
+	vm.Fill(level, -1)
+	level.Data[src] = 0
+	adj := vm.AllocInit(a.Adj)
+
+	frontier := []int64{src}
+	res := BFSResult{}
+	for cur := int64(0); len(frontier) > 0; cur++ {
+		res.Levels++
+
+		// Expand: total edges out of the frontier.
+		total := 0
+		for _, v := range frontier {
+			total += int(a.AdjPtr[v+1] - a.AdjPtr[v])
+		}
+		vm.ChargeElementwise(len(frontier), 2) // degree gather + scan on the machine
+		if total == 0 {
+			break
+		}
+
+		// Edge frontier: for every frontier vertex, the indices of its
+		// adjacency span (a segmented iota: scan + elementwise on the
+		// machine, plain loop here).
+		eIdx := vm.Alloc(total)
+		k := 0
+		for _, v := range frontier {
+			for e := a.AdjPtr[v]; e < a.AdjPtr[v+1]; e++ {
+				eIdx.Data[k] = e
+				k++
+			}
+		}
+		vm.ChargeElementwise(total, 2)
+
+		// Gather neighbor ids, then their levels (irregular: hubs hit).
+		nbr := vm.Alloc(total)
+		vm.Gather(nbr, adj, eIdx)
+		nlv := vm.Alloc(total)
+		vm.Gather(nlv, level, nbr)
+
+		// Discovered = neighbors with level -1; scatter cur+1 into them.
+		// Colliding discoveries of one vertex are benign (same value).
+		newIdxData := make([]int64, 0, total)
+		for i := 0; i < total; i++ {
+			if nlv.Data[i] == -1 {
+				newIdxData = append(newIdxData, nbr.Data[i])
+			}
+		}
+		vm.ChargeElementwise(total, 2)
+		next := make([]int64, 0, len(newIdxData))
+		if len(newIdxData) > 0 {
+			ni := vm.AllocInit(newIdxData)
+			vm.ScatterConst(level, cur+1, ni)
+			// Deduplicate for the next frontier (the scatter already
+			// resolved winners; a vertex appears once regardless).
+			seen := make(map[int64]bool, len(newIdxData))
+			for _, v := range newIdxData {
+				if !seen[v] {
+					seen[v] = true
+					next = append(next, v)
+				}
+			}
+			vm.ChargeElementwise(len(newIdxData), 2)
+		}
+		frontier = next
+	}
+	res.Level = append([]int64(nil), level.Data...)
+	res.MaxContention = vm.MaxLocContention()
+	return res
+}
+
+// SerialBFS is the reference traversal.
+func SerialBFS(a *AdjGraph, src int64) []int64 {
+	level := make([]int64, a.N)
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	queue := []int64{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for e := a.AdjPtr[v]; e < a.AdjPtr[v+1]; e++ {
+			w := a.Adj[e]
+			if level[w] == -1 {
+				level[w] = level[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return level
+}

@@ -1,0 +1,138 @@
+package algos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dxbsp/internal/rng"
+)
+
+func TestBuildAdjSymmetric(t *testing.T) {
+	gr := &Graph{N: 4, U: []int64{0, 1, 2}, V: []int64{1, 2, 2}} // includes self-loop 2-2
+	a := BuildAdj(gr)
+	if a.AdjPtr[4] != 4 { // 2 real edges, both directions
+		t.Fatalf("total adjacency = %d, want 4", a.AdjPtr[4])
+	}
+	// Vertex 1 must list 0 and 2.
+	nbrs := map[int64]bool{}
+	for e := a.AdjPtr[1]; e < a.AdjPtr[2]; e++ {
+		nbrs[a.Adj[e]] = true
+	}
+	if !nbrs[0] || !nbrs[2] {
+		t.Errorf("vertex 1 neighbors wrong: %v", nbrs)
+	}
+	if a.MaxDegree() != 2 {
+		t.Errorf("MaxDegree = %d", a.MaxDegree())
+	}
+}
+
+func TestBFSMatchesSerial(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{{10, 15}, {200, 400}, {1000, 3000}} {
+		gr := RandomGraph(tc.n, tc.m, rng.New(uint64(tc.n)))
+		a := BuildAdj(gr)
+		got := BFS(newVM(), a, 0)
+		want := SerialBFS(a, 0)
+		for v := range want {
+			if got.Level[v] != want[v] {
+				t.Fatalf("n=%d m=%d: Level[%d] = %d, want %d", tc.n, tc.m, v, got.Level[v], want[v])
+			}
+		}
+	}
+}
+
+func TestBFSPath(t *testing.T) {
+	a := BuildAdj(PathGraph(100))
+	res := BFS(newVM(), a, 0)
+	for v := 0; v < 100; v++ {
+		if res.Level[v] != int64(v) {
+			t.Fatalf("path Level[%d] = %d", v, res.Level[v])
+		}
+	}
+	if res.Levels < 99 {
+		t.Errorf("path Levels = %d", res.Levels)
+	}
+}
+
+func TestBFSStarContention(t *testing.T) {
+	// From a leaf: level 1 discovers the hub, level 2 discovers all other
+	// leaves THROUGH the hub — but the hub's own discovery at level 1 is
+	// the hot scatter when starting from the hub side:
+	// from the hub, all leaves are discovered at once with contention 1
+	// each; from a leaf, level 2's gather of the hub's adjacency and the
+	// level gather at nbr=leaves are wide but contention comes from the
+	// repeated hub reads at level 1 of every leaf... measure both.
+	n := 4096
+	a := BuildAdj(StarGraph(n))
+	fromLeaf := BFS(newVM(), a, 1)
+	if fromLeaf.Level[0] != 1 {
+		t.Fatalf("hub level = %d", fromLeaf.Level[0])
+	}
+	for v := 2; v < n; v++ {
+		if fromLeaf.Level[v] != 2 {
+			t.Fatalf("leaf %d level = %d", v, fromLeaf.Level[v])
+		}
+	}
+	fromHub := BFS(newVM(), a, 0)
+	for v := 1; v < n; v++ {
+		if fromHub.Level[v] != 1 {
+			t.Fatalf("from hub: leaf level = %d", fromHub.Level[v])
+		}
+	}
+}
+
+func TestBFSDisconnected(t *testing.T) {
+	gr := &Graph{N: 5, U: []int64{0}, V: []int64{1}}
+	a := BuildAdj(gr)
+	res := BFS(newVM(), a, 0)
+	if res.Level[1] != 1 {
+		t.Errorf("Level[1] = %d", res.Level[1])
+	}
+	for _, v := range []int{2, 3, 4} {
+		if res.Level[v] != -1 {
+			t.Errorf("unreachable %d got level %d", v, res.Level[v])
+		}
+	}
+}
+
+func TestBFSIsolatedSource(t *testing.T) {
+	gr := &Graph{N: 3, U: []int64{1}, V: []int64{2}}
+	a := BuildAdj(gr)
+	res := BFS(newVM(), a, 0)
+	if res.Level[0] != 0 || res.Level[1] != -1 {
+		t.Errorf("levels = %v", res.Level)
+	}
+}
+
+func TestBFSPanics(t *testing.T) {
+	a := BuildAdj(PathGraph(4))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad source")
+		}
+	}()
+	BFS(newVM(), a, 99)
+}
+
+func TestBFSProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint8) bool {
+		n := int(nRaw)%150 + 2
+		m := int(mRaw) % 300
+		gr := RandomGraph(n, m, rng.New(seed))
+		a := BuildAdj(gr)
+		src := int64(int(seed) % n)
+		if src < 0 {
+			src = 0
+		}
+		got := BFS(newVM(), a, src)
+		want := SerialBFS(a, src)
+		for v := range want {
+			if got.Level[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,281 @@
+package algos
+
+import (
+	"fmt"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/vector"
+)
+
+// This file implements the connected-components experiment (Figure 1 /
+// F13): a data-parallel random-mate algorithm in the style of Greiner's
+// hybrid [Gre94], built from hooking, shortcutting and contraction phases.
+// Each phase's gathers and scatters carry real contention — hooking
+// concentrates on popular roots, shortcutting on the parents of large
+// trees — which is exactly the contention the paper measures and the
+// (d,x)-BSP accounts for.
+
+// Graph is an undirected graph as an edge list.
+type Graph struct {
+	N int // vertices 0..N-1
+	U []int64
+	V []int64
+}
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.U) }
+
+// Validate checks the edge list.
+func (g *Graph) Validate() error {
+	if g.N <= 0 {
+		return fmt.Errorf("algos: graph with %d vertices", g.N)
+	}
+	if len(g.U) != len(g.V) {
+		return fmt.Errorf("algos: edge list lengths differ: %d vs %d", len(g.U), len(g.V))
+	}
+	for i := range g.U {
+		if g.U[i] < 0 || g.U[i] >= int64(g.N) || g.V[i] < 0 || g.V[i] >= int64(g.N) {
+			return fmt.Errorf("algos: edge %d (%d,%d) out of range", i, g.U[i], g.V[i])
+		}
+	}
+	return nil
+}
+
+// RandomGraph returns a graph with n vertices and m uniformly random
+// edges (self-loops allowed; they are harmless).
+func RandomGraph(n, m int, g *rng.Xoshiro256) *Graph {
+	gr := &Graph{N: n, U: make([]int64, m), V: make([]int64, m)}
+	for i := 0; i < m; i++ {
+		gr.U[i] = int64(g.Intn(n))
+		gr.V[i] = int64(g.Intn(n))
+	}
+	return gr
+}
+
+// StarGraph returns the n-vertex star centered at 0 — the maximum-
+// contention input: every hook and every shortcut converges on the hub.
+func StarGraph(n int) *Graph {
+	gr := &Graph{N: n, U: make([]int64, n-1), V: make([]int64, n-1)}
+	for i := 1; i < n; i++ {
+		gr.U[i-1] = 0
+		gr.V[i-1] = int64(i)
+	}
+	return gr
+}
+
+// PathGraph returns the n-vertex path — the minimum-contention input.
+func PathGraph(n int) *Graph {
+	gr := &Graph{N: n, U: make([]int64, n-1), V: make([]int64, n-1)}
+	for i := 0; i < n-1; i++ {
+		gr.U[i] = int64(i)
+		gr.V[i] = int64(i + 1)
+	}
+	return gr
+}
+
+// PhaseStat accumulates per-phase accounting for a components run.
+type PhaseStat struct {
+	Cycles        float64
+	Supersteps    int
+	MaxContention int
+}
+
+// CCResult reports a connected-components run.
+type CCResult struct {
+	// Labels[v] is the component representative of vertex v.
+	Labels []int64
+	// Rounds is the number of hook-and-contract rounds executed.
+	Rounds int
+	// Phases maps phase name ("hook", "shortcut", "contract") to its
+	// accumulated accounting.
+	Phases map[string]*PhaseStat
+}
+
+// ConnectedComponents labels the components of gr on vm using random-mate
+// hooking: every round each root flips a coin; edges whose tail root came
+// up "tail" and head root "head" hook the tail root under the head root,
+// then one pointer-jumping pass re-flattens the forest and edges inside a
+// component are contracted away. Expected O(lg n) rounds.
+func ConnectedComponents(vm *vector.Machine, gr *Graph, g *rng.Xoshiro256) CCResult {
+	if err := gr.Validate(); err != nil {
+		panic(err)
+	}
+	n := gr.N
+	res := CCResult{
+		Phases: map[string]*PhaseStat{
+			"hook":     {},
+			"shortcut": {},
+			"contract": {},
+		},
+	}
+
+	// Phase interposer: tag every irregular superstep with the phase.
+	phase := ""
+	var prevTrace vector.TraceFunc
+	prevTrace = vm.SetTrace(func(op string, prof core.Profile, cycles float64) {
+		if st, ok := res.Phases[phase]; ok {
+			st.Supersteps++
+			if prof.MaxLoc > st.MaxContention {
+				st.MaxContention = prof.MaxLoc
+			}
+		}
+		if prevTrace != nil {
+			prevTrace(op, prof, cycles)
+		}
+	})
+	defer vm.SetTrace(prevTrace)
+	markCycles := vm.Cycles()
+	account := func(name string) {
+		res.Phases[name].Cycles += vm.Cycles() - markCycles
+		markCycles = vm.Cycles()
+	}
+
+	parent := vm.Alloc(n)
+	vm.Iota(parent)
+	coin := vm.Alloc(n)
+
+	// Live edge endpoints (shrinking).
+	eu := vm.AllocInit(gr.U)
+	ev := vm.AllocInit(gr.V)
+	live := gr.M()
+
+	for live > 0 {
+		res.Rounds++
+
+		euV := &vector.Vec{Data: eu.Data[:live], Base: eu.Base}
+		evV := &vector.Vec{Data: ev.Data[:live], Base: ev.Base}
+
+		// --- contract: find root labels of endpoints, drop internal edges.
+		phase = "contract"
+		ru := vm.Alloc(live)
+		rv := vm.Alloc(live)
+		vm.Gather(ru, parent, euV)
+		vm.Gather(rv, parent, evV)
+		keep := vm.Alloc(live)
+		vm.Map2(keep, ru, rv, func(a, b int64) int64 {
+			if a != b {
+				return 1
+			}
+			return 0
+		}, 1)
+		nu := vm.Alloc(live)
+		nv := vm.Alloc(live)
+		ku := vm.Pack(nu, ru, keep)
+		_ = vm.Pack(nv, rv, keep)
+		copy(eu.Data[:ku], nu.Data[:ku])
+		copy(ev.Data[:ku], nv.Data[:ku])
+		live = ku
+		account("contract")
+		if live == 0 {
+			break
+		}
+
+		euV = &vector.Vec{Data: eu.Data[:live], Base: eu.Base}
+		evV = &vector.Vec{Data: ev.Data[:live], Base: ev.Base}
+
+		// --- hook: random mate. Endpoints are roots (parent is flat).
+		phase = "hook"
+		for i := 0; i < n; i++ {
+			coin.Data[i] = int64(g.Uint64() & 1)
+		}
+		vm.ChargeElementwise(n, 2)
+		cu := vm.Alloc(live)
+		cv := vm.Alloc(live)
+		vm.Gather(cu, coin, euV)
+		vm.Gather(cv, coin, evV)
+
+		// Tails (coin 0) hook under heads (coin 1), in both directions.
+		// Build the hook scatter: src = head root, idx = tail root.
+		hookIdx := make([]int64, 0, live)
+		hookSrc := make([]int64, 0, live)
+		for i := 0; i < live; i++ {
+			u, v := eu.Data[i], ev.Data[i]
+			switch {
+			case cu.Data[i] == 0 && cv.Data[i] == 1:
+				hookIdx = append(hookIdx, u)
+				hookSrc = append(hookSrc, v)
+			case cu.Data[i] == 1 && cv.Data[i] == 0:
+				hookIdx = append(hookIdx, v)
+				hookSrc = append(hookSrc, u)
+			}
+		}
+		vm.ChargeElementwise(live, 3)
+		if len(hookIdx) > 0 {
+			hi := vm.AllocInit(hookIdx)
+			hs := vm.AllocInit(hookSrc)
+			vm.Scatter(parent, hs, hi) // colliding hooks: any winner is valid
+		}
+		account("hook")
+
+		// --- shortcut: one jump pass re-flattens (tails point at heads,
+		// heads are roots).
+		phase = "shortcut"
+		pp := vm.Alloc(n)
+		vm.Gather(pp, parent, parent) // P[P[v]]
+		vm.Map1(parent, pp, func(x int64) int64 { return x }, 0)
+		account("shortcut")
+	}
+
+	res.Labels = append([]int64(nil), parent.Data...)
+	return res
+}
+
+// SerialComponents is the reference labeling via union-find; labels are
+// the minimum vertex of each component.
+func SerialComponents(gr *Graph) []int64 {
+	parent := make([]int, gr.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := range gr.U {
+		a, b := find(int(gr.U[i])), find(int(gr.V[i]))
+		if a != b {
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	labels := make([]int64, gr.N)
+	minLabel := make(map[int]int)
+	for v := 0; v < gr.N; v++ {
+		r := find(v)
+		if cur, ok := minLabel[r]; !ok || v < cur {
+			minLabel[r] = v
+		}
+	}
+	for v := 0; v < gr.N; v++ {
+		labels[v] = int64(minLabel[find(v)])
+	}
+	return labels
+}
+
+// SameComponents reports whether two labelings induce the same partition.
+func SameComponents(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fwd := make(map[int64]int64)
+	rev := make(map[int64]int64)
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := rev[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}

@@ -1,0 +1,158 @@
+package algos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dxbsp/internal/rng"
+)
+
+func TestSerialComponentsSanity(t *testing.T) {
+	gr := &Graph{N: 6, U: []int64{0, 2, 4}, V: []int64{1, 3, 4}}
+	labels := SerialComponents(gr)
+	// Components: {0,1}, {2,3}, {4}, {5}.
+	if labels[0] != labels[1] || labels[2] != labels[3] {
+		t.Errorf("labels = %v", labels)
+	}
+	if labels[0] == labels[2] || labels[4] == labels[5] || labels[4] == labels[0] {
+		t.Errorf("merged distinct components: %v", labels)
+	}
+}
+
+func TestSameComponents(t *testing.T) {
+	if !SameComponents([]int64{1, 1, 2}, []int64{7, 7, 9}) {
+		t.Error("isomorphic labelings rejected")
+	}
+	if SameComponents([]int64{1, 1, 2}, []int64{7, 8, 9}) {
+		t.Error("split component accepted")
+	}
+	if SameComponents([]int64{1, 2}, []int64{7, 7}) {
+		t.Error("merged component accepted")
+	}
+	if SameComponents([]int64{1}, []int64{1, 2}) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestConnectedComponentsRandomGraphs(t *testing.T) {
+	for _, tc := range []struct{ n, m int }{
+		{10, 5}, {100, 50}, {100, 300}, {1000, 800}, {1000, 4000},
+	} {
+		gr := RandomGraph(tc.n, tc.m, rng.New(uint64(tc.n*31+tc.m)))
+		vm := newVM()
+		res := ConnectedComponents(vm, gr, rng.New(99))
+		want := SerialComponents(gr)
+		if !SameComponents(res.Labels, want) {
+			t.Fatalf("n=%d m=%d: wrong components", tc.n, tc.m)
+		}
+		if res.Rounds < 1 {
+			t.Errorf("rounds = %d", res.Rounds)
+		}
+	}
+}
+
+func TestConnectedComponentsStar(t *testing.T) {
+	gr := StarGraph(4096)
+	vm := newVM()
+	res := ConnectedComponents(vm, gr, rng.New(1))
+	want := SerialComponents(gr)
+	if !SameComponents(res.Labels, want) {
+		t.Fatal("star mislabeled")
+	}
+	// Star: hooks and shortcuts converge on the hub — the high-contention
+	// phases the paper measures.
+	hub := res.Phases["hook"].MaxContention
+	if sc := res.Phases["shortcut"].MaxContention; sc > hub {
+		hub = sc
+	}
+	if hub < 1024 {
+		t.Errorf("star should show hub contention, got %d", hub)
+	}
+}
+
+func TestConnectedComponentsPath(t *testing.T) {
+	gr := PathGraph(2048)
+	res := ConnectedComponents(newVM(), gr, rng.New(2))
+	want := SerialComponents(gr)
+	if !SameComponents(res.Labels, want) {
+		t.Fatal("path mislabeled")
+	}
+}
+
+func TestConnectedComponentsEmptyEdges(t *testing.T) {
+	gr := &Graph{N: 5}
+	res := ConnectedComponents(newVM(), gr, rng.New(3))
+	for v, l := range res.Labels {
+		if l != int64(v) {
+			t.Errorf("isolated vertex %d labeled %d", v, l)
+		}
+	}
+	if res.Rounds != 0 {
+		t.Errorf("rounds = %d, want 0 (no live edges)", res.Rounds)
+	}
+}
+
+func TestConnectedComponentsSelfLoops(t *testing.T) {
+	gr := &Graph{N: 3, U: []int64{0, 1}, V: []int64{0, 2}}
+	res := ConnectedComponents(newVM(), gr, rng.New(4))
+	want := SerialComponents(gr)
+	if !SameComponents(res.Labels, want) {
+		t.Fatal("self-loop graph mislabeled")
+	}
+}
+
+func TestConnectedComponentsPhasesAccounted(t *testing.T) {
+	gr := RandomGraph(2000, 4000, rng.New(5))
+	vm := newVM()
+	res := ConnectedComponents(vm, gr, rng.New(6))
+	total := 0.0
+	for name, st := range res.Phases {
+		if st.Cycles < 0 {
+			t.Errorf("phase %s negative cycles", name)
+		}
+		total += st.Cycles
+	}
+	if total <= 0 {
+		t.Error("no phase cycles recorded")
+	}
+	// Phase cycles should account for nearly all VM cycles (setup aside).
+	if total < vm.Cycles()*0.8 {
+		t.Errorf("phases cover %v of %v cycles", total, vm.Cycles())
+	}
+	if res.Phases["contract"].Supersteps == 0 || res.Phases["hook"].Supersteps == 0 {
+		t.Error("missing phase supersteps")
+	}
+}
+
+func TestConnectedComponentsRoundsLogarithmic(t *testing.T) {
+	gr := RandomGraph(1<<14, 1<<15, rng.New(7))
+	res := ConnectedComponents(newVM(), gr, rng.New(8))
+	if res.Rounds > 64 {
+		t.Errorf("rounds = %d for n=2^14, expected O(lg n)", res.Rounds)
+	}
+}
+
+func TestConnectedComponentsProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		n := int(nRaw%200) + 2
+		m := int(mRaw % 400)
+		gr := RandomGraph(n, m, rng.New(seed))
+		res := ConnectedComponents(newVM(), gr, rng.New(seed^0xabc))
+		return SameComponents(res.Labels, SerialComponents(gr))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphValidate(t *testing.T) {
+	if err := (&Graph{N: 0}).Validate(); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if err := (&Graph{N: 2, U: []int64{0}, V: []int64{5}}).Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := (&Graph{N: 2, U: []int64{0}, V: []int64{}}).Validate(); err == nil {
+		t.Error("ragged edge list accepted")
+	}
+}

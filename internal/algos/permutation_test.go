@@ -1,0 +1,129 @@
+package algos
+
+import (
+	"testing"
+
+	"dxbsp/internal/rng"
+)
+
+func TestRandomPermuteQRQWValid(t *testing.T) {
+	for _, n := range []int{1, 2, 100, 4096} {
+		vm := newVM()
+		res := RandomPermuteQRQW(vm, n, rng.New(uint64(n)))
+		if !IsPermutation(res.Perm) {
+			t.Fatalf("n=%d: not a permutation: %v", n, res.Perm[:min(n, 20)])
+		}
+		if res.Rounds < 1 {
+			t.Errorf("n=%d: rounds = %d", n, res.Rounds)
+		}
+	}
+}
+
+func TestRandomPermuteQRQWRoundsLogarithmic(t *testing.T) {
+	vm := newVM()
+	n := 1 << 14
+	res := RandomPermuteQRQW(vm, n, rng.New(7))
+	// With a slack factor of 2 the per-round success probability is a
+	// constant, so rounds should be well under lg^2 n; 40 is generous.
+	if res.Rounds > 40 {
+		t.Errorf("rounds = %d for n=%d, expected O(lg n)", res.Rounds, n)
+	}
+}
+
+func TestRandomPermuteQRQWContentionSmall(t *testing.T) {
+	// Dart throwing's whole point: per-round contention is tiny
+	// (Θ(lg n / lg lg n)), unlike a hot-spot pattern.
+	vm := newVM()
+	n := 1 << 14
+	res := RandomPermuteQRQW(vm, n, rng.New(9))
+	if res.MaxContention > 32 {
+		t.Errorf("contention = %d, want small", res.MaxContention)
+	}
+}
+
+func TestRandomPermuteQRQWDeterministicPerSeed(t *testing.T) {
+	a := RandomPermuteQRQW(newVM(), 512, rng.New(3))
+	b := RandomPermuteQRQW(newVM(), 512, rng.New(3))
+	for i := range a.Perm {
+		if a.Perm[i] != b.Perm[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+	c := RandomPermuteQRQW(newVM(), 512, rng.New(4))
+	same := 0
+	for i := range a.Perm {
+		if a.Perm[i] == c.Perm[i] {
+			same++
+		}
+	}
+	if same == len(a.Perm) {
+		t.Error("different seeds produced identical permutations")
+	}
+}
+
+func TestRandomPermuteEREWValid(t *testing.T) {
+	for _, n := range []int{1, 100, 4096} {
+		vm := newVM()
+		res := RandomPermuteEREW(vm, n, 40, rng.New(uint64(n)*7+1))
+		if !IsPermutation(res.Perm) {
+			t.Fatalf("n=%d: not a permutation", n)
+		}
+		if res.Rounds != 1 {
+			t.Errorf("rounds = %d", res.Rounds)
+		}
+	}
+}
+
+func TestQRQWBeatsEREWInCycles(t *testing.T) {
+	// The Figure 11 headline: the dart-throwing algorithm, with its
+	// well-accounted small contention, costs fewer cycles than the full
+	// radix sort.
+	n := 1 << 14
+	vmQ := newVM()
+	RandomPermuteQRQW(vmQ, n, rng.New(11))
+	vmE := newVM()
+	RandomPermuteEREW(vmE, n, 40, rng.New(11))
+	if vmQ.Cycles() >= vmE.Cycles() {
+		t.Errorf("QRQW %v cycles should beat EREW %v cycles at n=%d", vmQ.Cycles(), vmE.Cycles(), n)
+	}
+}
+
+func TestPermutePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { RandomPermuteQRQW(newVM(), 0, rng.New(1)) },
+		func() { RandomPermuteEREW(newVM(), 0, 30, rng.New(1)) },
+		func() { RandomPermuteEREW(newVM(), 10, 0, rng.New(1)) },
+		func() { RandomPermuteEREW(newVM(), 10, 63, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestIsPermutation(t *testing.T) {
+	if !IsPermutation([]int64{2, 0, 1}) {
+		t.Error("valid rejected")
+	}
+	if IsPermutation([]int64{0, 0, 1}) {
+		t.Error("duplicate accepted")
+	}
+	if IsPermutation([]int64{0, 3}) {
+		t.Error("out of range accepted")
+	}
+	if !IsPermutation(nil) {
+		t.Error("empty should be valid")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,177 @@
+package algos
+
+import (
+	"fmt"
+	"math"
+
+	"dxbsp/internal/rng"
+	"dxbsp/internal/vector"
+)
+
+// This file rounds out the [BHZ93] sparse-matrix substrate beyond the
+// Figure 12 kernel: matrix constructors with controlled structure,
+// transpose, and multi-vector multiplication. Transpose is the
+// interesting one for the model — it is a bulk permutation whose
+// destination computation is a multiprefix over column indices, so its
+// cost connects straight back to the contention machinery.
+
+// DiagonalCSR returns an n x n matrix with the given diagonals (offsets
+// relative to the main diagonal), each filled with val. A classic banded
+// structure: gathers are near-stride, contention-free.
+func DiagonalCSR(n int, offsets []int, val int64) *CSR {
+	if n <= 0 {
+		panic(fmt.Sprintf("algos: DiagonalCSR(n=%d)", n))
+	}
+	m := &CSR{Rows: n, Cols: n, RowPtr: make([]int64, n+1)}
+	for r := 0; r < n; r++ {
+		m.RowPtr[r] = int64(len(m.ColIdx))
+		for _, off := range offsets {
+			c := r + off
+			if c >= 0 && c < n {
+				m.ColIdx = append(m.ColIdx, int64(c))
+				m.Val = append(m.Val, val)
+			}
+		}
+	}
+	m.RowPtr[n] = int64(len(m.ColIdx))
+	return m
+}
+
+// PowerLawCSR returns a rows x cols matrix whose column indices follow a
+// Zipf-like distribution: a few hot columns appear in many rows. This is
+// the realistic version of the synthetic dense-column workload — degree
+// skew in graph/matrix data is where high gather contention comes from in
+// practice.
+func PowerLawCSR(rows, cols, nnzPerRow int, s float64, g *rng.Xoshiro256) *CSR {
+	if rows <= 0 || cols <= 0 || nnzPerRow <= 0 {
+		panic(fmt.Sprintf("algos: PowerLawCSR(%d,%d,%d)", rows, cols, nnzPerRow))
+	}
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int64, rows+1)}
+	// Zipf over columns via inversion on the CDF.
+	cdf := make([]float64, cols)
+	acc := 0.0
+	for k := 0; k < cols; k++ {
+		acc += 1 / powF(float64(k+1), s)
+		cdf[k] = acc
+	}
+	total := cdf[cols-1]
+	for r := 0; r < rows; r++ {
+		m.RowPtr[r] = int64(len(m.ColIdx))
+		for j := 0; j < nnzPerRow; j++ {
+			u := g.Float64() * total
+			lo, hi := 0, cols-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if cdf[mid] < u {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			m.ColIdx = append(m.ColIdx, int64(lo))
+			m.Val = append(m.Val, int64(g.Intn(8)+1))
+		}
+	}
+	m.RowPtr[rows] = int64(len(m.ColIdx))
+	return m
+}
+
+func powF(base, exp float64) float64 {
+	return math.Pow(base, exp)
+}
+
+// Transpose returns A^T computed on the machine: the destination of each
+// non-zero is colStart[col] + (running rank of that column so far), a
+// multiprefix over column indices [She93] followed by a permutation
+// scatter. Its contention is the maximum column frequency — the same
+// quantity that drives SpMV's gather, now driving the fetch&add.
+func Transpose(vm *vector.Machine, a *CSR) *CSR {
+	nnz := a.NNZ()
+	out := &CSR{Rows: a.Cols, Cols: a.Rows, RowPtr: make([]int64, a.Cols+1)}
+	out.ColIdx = make([]int64, nnz)
+	out.Val = make([]int64, nnz)
+	if nnz == 0 {
+		return out
+	}
+
+	// Column counts and destinations via the direct multiprefix.
+	ones := make([]int64, nnz)
+	for i := range ones {
+		ones[i] = 1
+	}
+	mp := MultiprefixDirect(vm, a.ColIdx, ones, a.Cols)
+
+	// Column start offsets: exclusive scan of totals.
+	totalsV := vm.AllocInit(mp.Totals)
+	starts := vm.Alloc(a.Cols)
+	vm.ScanAdd(starts, totalsV)
+	for c := 0; c < a.Cols; c++ {
+		out.RowPtr[c] = starts.Data[c]
+	}
+	out.RowPtr[a.Cols] = int64(nnz)
+	vm.ChargeElementwise(a.Cols, 1)
+
+	// Row index of each non-zero (segmented copy of row numbers).
+	rowOf := make([]int64, nnz)
+	for r := 0; r < a.Rows; r++ {
+		for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+			rowOf[i] = int64(r)
+		}
+	}
+	vm.ChargeElementwise(nnz, 1)
+
+	// Destination = column start + within-column rank; a permutation.
+	dest := vm.Alloc(nnz)
+	for i := 0; i < nnz; i++ {
+		dest.Data[i] = starts.Data[a.ColIdx[i]] + mp.Prefix[i]
+	}
+	vm.ChargeElementwise(nnz, 2)
+
+	rowV := vm.AllocInit(rowOf)
+	valV := vm.AllocInit(a.Val)
+	dstCol := vm.Alloc(nnz)
+	dstVal := vm.Alloc(nnz)
+	vm.Scatter(dstCol, rowV, dest)
+	vm.Scatter(dstVal, valV, dest)
+	copy(out.ColIdx, dstCol.Data)
+	copy(out.Val, dstVal.Data)
+	return out
+}
+
+// SpMM computes Y = A * X for k dense column vectors packed in x
+// (x[j][c] is column j's entry c), amortizing the index gathers across
+// vectors the way blocked SpMV does.
+func SpMM(vm *vector.Machine, a *CSR, x [][]int64) [][]int64 {
+	y := make([][]int64, len(x))
+	for j := range x {
+		res := SpMV(vm, a, x[j])
+		y[j] = res.Y
+	}
+	return y
+}
+
+// SerialTranspose is the reference transpose.
+func SerialTranspose(a *CSR) *CSR {
+	nnz := a.NNZ()
+	out := &CSR{Rows: a.Cols, Cols: a.Rows, RowPtr: make([]int64, a.Cols+1)}
+	out.ColIdx = make([]int64, nnz)
+	out.Val = make([]int64, nnz)
+	counts := make([]int64, a.Cols)
+	for _, c := range a.ColIdx {
+		counts[c]++
+	}
+	for c := 0; c < a.Cols; c++ {
+		out.RowPtr[c+1] = out.RowPtr[c] + counts[c]
+	}
+	fill := make([]int64, a.Cols)
+	copy(fill, out.RowPtr[:a.Cols])
+	for r := 0; r < a.Rows; r++ {
+		for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+			c := a.ColIdx[i]
+			out.ColIdx[fill[c]] = int64(r)
+			out.Val[fill[c]] = a.Val[i]
+			fill[c]++
+		}
+	}
+	return out
+}

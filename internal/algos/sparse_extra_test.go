@@ -1,0 +1,190 @@
+package algos
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dxbsp/internal/rng"
+)
+
+func TestDiagonalCSR(t *testing.T) {
+	m := DiagonalCSR(5, []int{-1, 0, 1}, 2)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Tridiagonal 5x5: 4 + 5 + 4 = 13 non-zeros.
+	if m.NNZ() != 13 {
+		t.Errorf("NNZ = %d, want 13", m.NNZ())
+	}
+	// y = A*ones: interior rows sum 3 diagonals = 6, ends = 4.
+	x := []int64{1, 1, 1, 1, 1}
+	y := SerialSpMV(m, x)
+	want := []int64{4, 6, 6, 6, 4}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Errorf("y = %v, want %v", y, want)
+			break
+		}
+	}
+}
+
+func TestDiagonalCSRLowContention(t *testing.T) {
+	m := DiagonalCSR(2048, []int{-1, 0, 1}, 1)
+	vm := newVM()
+	SpMV(vm, m, make([]int64, 2048))
+	if vm.MaxLocContention() > 3 {
+		t.Errorf("banded SpMV contention = %d, want <= 3", vm.MaxLocContention())
+	}
+}
+
+func TestPowerLawCSRSkew(t *testing.T) {
+	m := PowerLawCSR(4096, 1024, 4, 1.1, rng.New(1))
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Zipf s=1.1 over 1024 columns: the hot column should absorb a large
+	// share of the 16384 entries.
+	if f := m.MaxColumnFrequency(); f < 500 {
+		t.Errorf("power-law max column frequency = %d, want skewed", f)
+	}
+	// s = 0 is uniform: no hot column.
+	u := PowerLawCSR(4096, 1024, 4, 0, rng.New(2))
+	if f := u.MaxColumnFrequency(); f > 100 {
+		t.Errorf("uniform max column frequency = %d", f)
+	}
+}
+
+func csrEqual(a, b *CSR) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols || a.NNZ() != b.NNZ() {
+		return false
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return false
+		}
+	}
+	for i := range a.ColIdx {
+		if a.ColIdx[i] != b.ColIdx[i] || a.Val[i] != b.Val[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestTransposeMatchesSerial(t *testing.T) {
+	a := RandomCSR(200, 100, 5, 40, rng.New(3))
+	got := Transpose(newVM(), a)
+	want := SerialTranspose(a)
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !csrEqual(got, want) {
+		t.Error("transpose differs from serial reference")
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := RandomCSR(100, 150, 4, 10, rng.New(4))
+	vm := newVM()
+	att := Transpose(vm, Transpose(vm, a))
+	// (A^T)^T holds the same entries row by row, but with each row's
+	// entries re-sorted by column (transposition canonicalizes order), so
+	// compare per-row multisets.
+	if att.Rows != a.Rows || att.Cols != a.Cols || att.NNZ() != a.NNZ() {
+		t.Fatalf("shape changed: %+v", att)
+	}
+	for r := 0; r < a.Rows; r++ {
+		want := map[[2]int64]int{}
+		got := map[[2]int64]int{}
+		for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+			want[[2]int64{a.ColIdx[i], a.Val[i]}]++
+		}
+		for i := att.RowPtr[r]; i < att.RowPtr[r+1]; i++ {
+			got[[2]int64{att.ColIdx[i], att.Val[i]}]++
+		}
+		if len(want) != len(got) {
+			t.Fatalf("row %d entry sets differ", r)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("row %d entry %v count %d != %d", r, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestTransposeEmptyAndSpMVAgree(t *testing.T) {
+	empty := &CSR{Rows: 3, Cols: 2, RowPtr: []int64{0, 0, 0, 0}}
+	got := Transpose(newVM(), empty)
+	if got.Rows != 2 || got.NNZ() != 0 {
+		t.Errorf("empty transpose = %+v", got)
+	}
+
+	// y^T = x^T A  <=>  A^T x for symmetric check via values.
+	a := RandomCSR(50, 60, 3, 5, rng.New(5))
+	at := SerialTranspose(a)
+	g := rng.New(6)
+	x := make([]int64, a.Cols)
+	for i := range x {
+		x[i] = int64(g.Intn(10))
+	}
+	z := make([]int64, a.Rows)
+	for i := range z {
+		z[i] = int64(g.Intn(10))
+	}
+	// z' A x computed both ways must agree: (z'A)x = z'(Ax).
+	ax := SerialSpMV(a, x)
+	atz := SerialSpMV(at, z)
+	var lhs, rhs int64
+	for i := range z {
+		lhs += z[i] * ax[i]
+	}
+	for j := range x {
+		rhs += atz[j] * x[j]
+	}
+	if lhs != rhs {
+		t.Errorf("bilinear check failed: %d != %d", lhs, rhs)
+	}
+}
+
+func TestTransposeProperty(t *testing.T) {
+	f := func(seed uint64, rRaw, cRaw uint8) bool {
+		rows := int(rRaw)%50 + 1
+		cols := int(cRaw)%50 + 1
+		a := RandomCSR(rows, cols, 3, rows/2, rng.New(seed))
+		return csrEqual(Transpose(newVM(), a), SerialTranspose(a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpMM(t *testing.T) {
+	a := RandomCSR(100, 80, 4, 10, rng.New(7))
+	g := rng.New(8)
+	x := make([][]int64, 3)
+	for j := range x {
+		x[j] = make([]int64, a.Cols)
+		for c := range x[j] {
+			x[j][c] = int64(g.Intn(10))
+		}
+	}
+	y := SpMM(newVM(), a, x)
+	for j := range x {
+		want := SerialSpMV(a, x[j])
+		for r := range want {
+			if y[j][r] != want[r] {
+				t.Fatalf("SpMM[%d][%d] = %d, want %d", j, r, y[j][r], want[r])
+			}
+		}
+	}
+}
+
+func TestDiagonalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	DiagonalCSR(0, []int{0}, 1)
+}

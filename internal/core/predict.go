@@ -1,0 +1,109 @@
+package core
+
+import "math"
+
+// This file holds the model predictors used by every experiment: given a
+// machine and either a full contention profile or summary statistics, they
+// return the predicted cycles for a bulk scatter/gather superstep under
+// plain BSP accounting and under (d,x)-BSP accounting.
+
+// PredictDXBSP returns the (d,x)-BSP predicted cycles for executing the
+// profiled superstep: max(g*h, d*k) + L.
+func (m Machine) PredictDXBSP(p Profile) float64 {
+	return m.SuperstepCost(p.MaxH, p.MaxK)
+}
+
+// PredictBSP returns the plain BSP prediction g*h + L, which ignores banks
+// entirely. Comparing this against PredictDXBSP and against simulation is
+// the heart of Figure 1.
+func (m Machine) PredictBSP(p Profile) float64 {
+	return m.BSPCost(p.MaxH)
+}
+
+// PredictScatter returns the (d,x)-BSP prediction for a scatter of n
+// requests with maximum location contention maxLoc, assuming locations are
+// spread over banks as well as possible (no module-map contention): the
+// per-bank load is then the larger of the contention at the hottest
+// location and the balanced share with a random-mapping fluctuation term.
+func (m Machine) PredictScatter(n, maxLoc int) float64 {
+	h := ceilDiv(n, m.Procs)
+	k := float64(maxLoc)
+	if bal := ExpectedMaxLoad(n, m.Banks); bal > k {
+		k = bal
+	}
+	return math.Max(m.G*float64(h), m.D*k) + m.L
+}
+
+// ExpectedMaxLoad approximates the expected maximum bank load when n
+// requests to distinct locations are distributed independently and
+// uniformly over b banks (the classical balls-in-bins maximum).
+//
+// Three regimes, with the standard asymptotics:
+//   - dense (n/b >> ln b):    n/b + sqrt(2*(n/b)*ln b)
+//   - balanced (n ≈ b ln b):  Θ(ln b)
+//   - sparse (n << b):        ln n / ln ln n scale
+//
+// The dense formula with a floor of the sparse/balanced estimate is a good
+// working approximation for every regime the experiments touch, and the
+// tests validate it against Monte Carlo simulation.
+func ExpectedMaxLoad(n, b int) float64 {
+	if n <= 0 || b <= 0 {
+		return 0
+	}
+	if b == 1 {
+		return float64(n)
+	}
+	mean := float64(n) / float64(b)
+	lnB := math.Log(float64(b))
+	dense := mean + math.Sqrt(2*mean*lnB)
+	// Sparse regime: maximum of b bins with n balls is about
+	// ln(b) / ln(b/n * ln(b)) for n < b (from the Poisson tail).
+	if mean < 1 {
+		ratio := lnB / math.Max(math.Log(lnB/mean), 1e-9)
+		sparse := math.Max(1, ratio)
+		if sparse > dense {
+			return sparse
+		}
+	}
+	if dense < 1 {
+		dense = 1
+	}
+	return dense
+}
+
+// PredictedSlowdownVsFlat returns the ratio of the (d,x)-BSP prediction for
+// the profiled pattern to the prediction for a perfectly flat pattern of
+// the same size (contention-free, balanced banks). Values near 1 mean
+// contention is immaterial; large values quantify the contention penalty.
+func (m Machine) PredictedSlowdownVsFlat(p Profile) float64 {
+	flat := Profile{
+		N:     p.N,
+		Procs: p.Procs,
+		Banks: p.Banks,
+		MaxH:  ceilDiv(p.N, p.Procs),
+		MaxK:  ceilDiv(p.N, p.Banks),
+	}
+	f := m.PredictDXBSP(flat)
+	if f == 0 {
+		return math.Inf(1)
+	}
+	return m.PredictDXBSP(p) / f
+}
+
+// CyclesPerElement converts a total cycle count for an n-element bulk
+// operation into the per-element figure the paper's graphs plot (clock
+// cycles per element per processor would be cycles*p/n; the paper plots
+// per-element wall cycles times p, i.e. processor-cycles per element).
+func CyclesPerElement(cycles float64, n, p int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return cycles * float64(p) / float64(n)
+}
+
+func ceilDiv(a, b int) int {
+	if b == 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}

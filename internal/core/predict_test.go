@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dxbsp/internal/rng"
+)
+
+func TestPredictDXBSPVsBSP(t *testing.T) {
+	m := J90()
+	n := 65536
+	// Flat profile: both models agree (memory keeps up, x=64 >= d=14).
+	flat := Profile{N: n, Procs: 8, Banks: 512, MaxH: n / 8, MaxK: n / 512}
+	if dx, bsp := m.PredictDXBSP(flat), m.PredictBSP(flat); dx != bsp {
+		t.Errorf("flat pattern: dx=%v bsp=%v, want equal", dx, bsp)
+	}
+	// Hot profile: dx prediction must exceed bsp.
+	hot := Profile{N: n, Procs: 8, Banks: 512, MaxH: n / 8, MaxK: n}
+	if dx, bsp := m.PredictDXBSP(hot), m.PredictBSP(hot); dx <= bsp {
+		t.Errorf("hot pattern: dx=%v should exceed bsp=%v", dx, bsp)
+	}
+}
+
+func TestPredictScatterMonotoneInContention(t *testing.T) {
+	m := J90()
+	n := 65536
+	prev := 0.0
+	for k := 1; k <= n; k *= 4 {
+		p := m.PredictScatter(n, k)
+		if p < prev {
+			t.Errorf("PredictScatter not monotone at k=%d: %v < %v", k, p, prev)
+		}
+		prev = p
+	}
+	// At k=n the scatter is fully serialized through one bank.
+	if got, want := m.PredictScatter(n, n), m.D*float64(n); got < want {
+		t.Errorf("full contention prediction %v < serial bound %v", got, want)
+	}
+}
+
+func TestPredictScatterCrossover(t *testing.T) {
+	m := J90()
+	n := 65536
+	kStar := m.ContentionCrossover(n) // ≈ 585
+	// Well below crossover: flat cost.
+	lo := m.PredictScatter(n, int(kStar/8))
+	flat := m.PredictScatter(n, 1)
+	if math.Abs(lo-flat)/flat > 0.05 {
+		t.Errorf("below crossover should be ~flat: %v vs %v", lo, flat)
+	}
+	// Well above: cost ≈ d*k.
+	k := int(kStar * 16)
+	hi := m.PredictScatter(n, k)
+	if want := m.D * float64(k); math.Abs(hi-want)/want > 0.05 {
+		t.Errorf("above crossover: %v, want ≈ %v", hi, want)
+	}
+}
+
+func TestExpectedMaxLoadDense(t *testing.T) {
+	// Monte Carlo check in the dense regime.
+	const n, b = 100000, 512
+	g := rng.New(17)
+	trials := 20
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		loads := make([]int, b)
+		for i := 0; i < n; i++ {
+			loads[g.Uint64n(b)]++
+		}
+		maxL := 0
+		for _, l := range loads {
+			if l > maxL {
+				maxL = l
+			}
+		}
+		sum += float64(maxL)
+	}
+	mc := sum / float64(trials)
+	est := ExpectedMaxLoad(n, b)
+	if ratio := est / mc; ratio < 0.85 || ratio > 1.25 {
+		t.Errorf("dense ExpectedMaxLoad=%v vs MC=%v (ratio %v)", est, mc, ratio)
+	}
+}
+
+func TestExpectedMaxLoadSparse(t *testing.T) {
+	// n << b: expected max is small (around ln n / ln ln n); check it is
+	// in a sane band via Monte Carlo.
+	const n, b = 100, 10000
+	g := rng.New(23)
+	trials := 50
+	sum := 0.0
+	for tr := 0; tr < trials; tr++ {
+		loads := make(map[uint64]int)
+		maxL := 0
+		for i := 0; i < n; i++ {
+			k := g.Uint64n(b)
+			loads[k]++
+			if loads[k] > maxL {
+				maxL = loads[k]
+			}
+		}
+		sum += float64(maxL)
+	}
+	mc := sum / float64(trials)
+	est := ExpectedMaxLoad(n, b)
+	if est < 1 || est > mc*3 || mc > est*3 {
+		t.Errorf("sparse ExpectedMaxLoad=%v vs MC=%v", est, mc)
+	}
+}
+
+func TestExpectedMaxLoadEdgeCases(t *testing.T) {
+	if got := ExpectedMaxLoad(0, 10); got != 0 {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := ExpectedMaxLoad(10, 0); got != 0 {
+		t.Errorf("b=0: %v", got)
+	}
+	if got := ExpectedMaxLoad(37, 1); got != 37 {
+		t.Errorf("b=1: %v, want 37", got)
+	}
+	if got := ExpectedMaxLoad(1, 100); got < 1 {
+		t.Errorf("n=1: %v, want >= 1", got)
+	}
+}
+
+func TestExpectedMaxLoadMonotone(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 1<<20; n *= 2 {
+		v := ExpectedMaxLoad(n, 512)
+		if v < prev {
+			t.Errorf("ExpectedMaxLoad not monotone in n at %d: %v < %v", n, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPredictedSlowdownVsFlat(t *testing.T) {
+	m := J90()
+	n := 65536
+	flat := Profile{N: n, Procs: 8, Banks: 512, MaxH: n / 8, MaxK: n / 512}
+	if s := m.PredictedSlowdownVsFlat(flat); math.Abs(s-1) > 1e-9 {
+		t.Errorf("flat slowdown = %v, want 1", s)
+	}
+	hot := flat
+	hot.MaxK = n
+	if s := m.PredictedSlowdownVsFlat(hot); s < 10 {
+		t.Errorf("hot slowdown = %v, want large", s)
+	}
+}
+
+func TestCyclesPerElement(t *testing.T) {
+	if got := CyclesPerElement(8000, 1000, 8); got != 64 {
+		t.Errorf("CyclesPerElement = %v, want 64", got)
+	}
+	if got := CyclesPerElement(100, 0, 8); got != 0 {
+		t.Errorf("n=0: %v, want 0", got)
+	}
+}

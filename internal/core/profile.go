@@ -1,0 +1,233 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BankMap maps memory addresses (word indices) to memory banks. The
+// identity-interleave map models conventional hardware interleaving; the
+// hashfn package provides pseudo-random (universal hash) maps.
+type BankMap interface {
+	// Bank returns the bank index in [0, NumBanks()) holding addr.
+	Bank(addr uint64) int
+	// NumBanks returns the number of banks the map distributes over.
+	NumBanks() int
+}
+
+// InterleaveMap is the conventional bank mapping: bank = addr mod banks.
+// Consecutive addresses land in consecutive banks, so unit-stride access is
+// perfectly spread, while stride-b access concentrates on one bank.
+type InterleaveMap struct {
+	Banks int
+}
+
+// Bank implements BankMap.
+func (m InterleaveMap) Bank(addr uint64) int { return int(addr % uint64(m.Banks)) }
+
+// NumBanks implements BankMap.
+func (m InterleaveMap) NumBanks() int { return m.Banks }
+
+// Pattern is a bulk memory access pattern: for each processor, the ordered
+// list of addresses it issues during one superstep (one vectorized scatter
+// or gather). Patterns are what the model profiles and what the simulator
+// executes.
+type Pattern struct {
+	PerProc [][]uint64
+}
+
+// NewPattern distributes a flat address stream round-robin over p
+// processors, the way a vectorized loop distributes iterations.
+func NewPattern(addrs []uint64, p int) Pattern {
+	if p <= 0 {
+		panic(fmt.Sprintf("core: NewPattern with p=%d", p))
+	}
+	per := make([][]uint64, p)
+	if len(addrs) == 0 {
+		return Pattern{PerProc: per}
+	}
+	chunk := (len(addrs) + p - 1) / p
+	for i := range per {
+		per[i] = make([]uint64, 0, chunk)
+	}
+	for i, a := range addrs {
+		per[i%p] = append(per[i%p], a)
+	}
+	return Pattern{PerProc: per}
+}
+
+// NewPatternBlocked distributes a flat address stream in contiguous blocks:
+// processor 0 gets the first n/p addresses, and so on. This matches how
+// the paper's multiprocessor experiments divide an array among CPUs.
+func NewPatternBlocked(addrs []uint64, p int) Pattern {
+	if p <= 0 {
+		panic(fmt.Sprintf("core: NewPatternBlocked with p=%d", p))
+	}
+	per := make([][]uint64, p)
+	n := len(addrs)
+	for i := 0; i < p; i++ {
+		lo := i * n / p
+		hi := (i + 1) * n / p
+		per[i] = addrs[lo:hi:hi]
+	}
+	return Pattern{PerProc: per}
+}
+
+// N returns the total number of requests in the pattern.
+func (pt Pattern) N() int {
+	n := 0
+	for _, a := range pt.PerProc {
+		n += len(a)
+	}
+	return n
+}
+
+// Procs returns the number of processors in the pattern.
+func (pt Pattern) Procs() int { return len(pt.PerProc) }
+
+// Flatten returns all addresses in round-robin issue order.
+func (pt Pattern) Flatten() []uint64 {
+	out := make([]uint64, 0, pt.N())
+	maxLen := 0
+	for _, a := range pt.PerProc {
+		if len(a) > maxLen {
+			maxLen = len(a)
+		}
+	}
+	for j := 0; j < maxLen; j++ {
+		for _, a := range pt.PerProc {
+			if j < len(a) {
+				out = append(out, a[j])
+			}
+		}
+	}
+	return out
+}
+
+// Profile summarizes the contention structure of a Pattern under a given
+// bank mapping. It holds exactly the quantities the (d,x)-BSP cost law
+// consumes, plus diagnostics used by the experiments.
+type Profile struct {
+	N     int // total requests
+	Procs int // processors issuing them
+	Banks int // banks in the mapping
+
+	MaxH int // max requests issued by one processor (BSP's h)
+	MaxK int // max requests received by one bank (the d*k term)
+
+	// MaxLoc is the maximum number of requests addressed to one memory
+	// location — the QRQW notion of contention κ. MaxK >= ceil stats of
+	// MaxLoc since co-located requests share a bank.
+	MaxLoc       int
+	DistinctLocs int
+
+	// MaxKDistinct is the maximum, over banks, of the number of *distinct
+	// locations* mapped to the bank that are touched by the pattern. The
+	// gap between MaxK and MaxLoc that is explained by multiple locations
+	// sharing a bank — module-map contention — shows up here.
+	MaxKDistinct int
+
+	// BankLoads is the full per-bank request histogram (length Banks) when
+	// retained; nil when the profile was computed with retention disabled.
+	BankLoads []int
+}
+
+// ComputeProfile profiles pattern pt under bank map bm.
+func ComputeProfile(pt Pattern, bm BankMap) Profile {
+	return computeProfile(pt, bm, true)
+}
+
+// ComputeProfileCompact is ComputeProfile without retaining the per-bank
+// histogram, for very large bank counts in tight loops.
+func ComputeProfileCompact(pt Pattern, bm BankMap) Profile {
+	return computeProfile(pt, bm, false)
+}
+
+func computeProfile(pt Pattern, bm BankMap, keep bool) Profile {
+	banks := bm.NumBanks()
+	prof := Profile{
+		N:     pt.N(),
+		Procs: pt.Procs(),
+		Banks: banks,
+	}
+	bankLoad := make([]int, banks)
+	locCount := make(map[uint64]int, prof.N)
+	for _, addrs := range pt.PerProc {
+		if len(addrs) > prof.MaxH {
+			prof.MaxH = len(addrs)
+		}
+		for _, a := range addrs {
+			bankLoad[bm.Bank(a)]++
+			locCount[a]++
+		}
+	}
+	for _, k := range bankLoad {
+		if k > prof.MaxK {
+			prof.MaxK = k
+		}
+	}
+	prof.DistinctLocs = len(locCount)
+	for _, c := range locCount {
+		if c > prof.MaxLoc {
+			prof.MaxLoc = c
+		}
+	}
+	// Distinct locations per bank.
+	distinct := make([]int, banks)
+	for a := range locCount {
+		distinct[bm.Bank(a)]++
+	}
+	for _, k := range distinct {
+		if k > prof.MaxKDistinct {
+			prof.MaxKDistinct = k
+		}
+	}
+	if keep {
+		prof.BankLoads = bankLoad
+	}
+	return prof
+}
+
+// LocationSpectrum returns the contention spectrum of a pattern: for each
+// occurring contention level c, the number of distinct locations accessed
+// exactly c times. The spectrum is what distinguishes "one hot spot"
+// patterns from "everything lukewarm" patterns that share the same MaxLoc.
+func LocationSpectrum(pt Pattern) map[int]int {
+	counts := make(map[uint64]int)
+	for _, addrs := range pt.PerProc {
+		for _, a := range addrs {
+			counts[a]++
+		}
+	}
+	spectrum := make(map[int]int)
+	for _, c := range counts {
+		spectrum[c]++
+	}
+	return spectrum
+}
+
+// LoadPercentile returns the q-quantile (0 <= q <= 1) of the per-bank load
+// distribution. Requires the profile to have been computed with the
+// histogram retained.
+func (p Profile) LoadPercentile(q float64) int {
+	if p.BankLoads == nil {
+		panic("core: LoadPercentile on compact profile")
+	}
+	loads := make([]int, len(p.BankLoads))
+	copy(loads, p.BankLoads)
+	sort.Ints(loads)
+	idx := int(q * float64(len(loads)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(loads) {
+		idx = len(loads) - 1
+	}
+	return loads[idx]
+}
+
+// String implements fmt.Stringer.
+func (p Profile) String() string {
+	return fmt.Sprintf("Profile{n=%d p=%d b=%d h=%d k=%d κ=%d distinct=%d}",
+		p.N, p.Procs, p.Banks, p.MaxH, p.MaxK, p.MaxLoc, p.DistinctLocs)
+}

@@ -1,0 +1,62 @@
+package core
+
+import "math"
+
+// This file adds a steady-state queueing refinement to the max-based
+// superstep law. The (d,x)-BSP charges max(g*h, d*k): exact for the two
+// extremes (bandwidth-bound and one-hot-bank-bound) but blind to the
+// *waiting time* requests experience at moderately loaded banks. For
+// random patterns each bank is approximately an M/D/1 queue with
+// deterministic service time d and arrival rate λ = p/(g*x*p) * ...
+// = 1/(g*x) per bank per cycle times p processors' aggregate rate; the
+// Pollaczek–Khinchine formula then gives the expected in-queue delay.
+// The refinement matters for latency-bound machines (small issue windows,
+// Tera-style multithreading) where per-request delay, not just
+// throughput, sets performance.
+
+// BankUtilization returns ρ, the steady-state utilization of each bank
+// under a balanced random pattern: aggregate request rate p/g against
+// aggregate service capacity x*p/d, so ρ = d/(g*x).
+func (m Machine) BankUtilization() float64 {
+	x := m.Expansion()
+	if x == 0 {
+		return math.Inf(1)
+	}
+	return m.D / (m.G * x)
+}
+
+// ExpectedBankDelay returns the expected per-request sojourn time (wait +
+// service) at a bank under the M/D/1 approximation for a balanced random
+// pattern: W = d + ρ*d/(2*(1-ρ)) by Pollaczek–Khinchine. It returns +Inf
+// when the banks cannot keep up (ρ >= 1).
+func (m Machine) ExpectedBankDelay() float64 {
+	rho := m.BankUtilization()
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return m.D + rho*m.D/(2*(1-rho))
+}
+
+// PredictWindowed estimates the completion time of n random requests when
+// each processor keeps at most w outstanding (a closed-loop issue window,
+// as on latency-hiding multithreaded machines): each request occupies its
+// slot for a round trip of 2*netDelay + sojourn, so a processor sustains
+// w/roundTrip requests per cycle, capped by the open-loop rate 1/g.
+//
+// This is the model behind the window ablation: for w*g >= roundTrip the
+// window is invisible; below that the machine is latency-bound and the
+// time inflates by roundTrip/(w*g).
+func (m Machine) PredictWindowed(n, w int, netDelay float64) float64 {
+	if w <= 0 { // unlimited window: open loop
+		return m.SuperstepCost(ceilDiv(n, m.Procs), int(math.Ceil(ExpectedMaxLoad(n, m.Banks))))
+	}
+	roundTrip := 2*netDelay + m.ExpectedBankDelay()
+	perReq := math.Max(m.G, roundTrip/float64(w))
+	h := float64(ceilDiv(n, m.Procs))
+	t := perReq * h
+	// Bank throughput still floors the time.
+	if floor := m.D * ExpectedMaxLoad(n, m.Banks); floor > t {
+		t = floor
+	}
+	return t + m.L
+}

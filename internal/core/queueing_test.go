@@ -1,0 +1,83 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBankUtilization(t *testing.T) {
+	m := J90() // d=14, g=1, x=64
+	want := 14.0 / 64.0
+	if got := m.BankUtilization(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("ρ = %v, want %v", got, want)
+	}
+	if rho := (Machine{Procs: 1, Banks: 0}).BankUtilization(); !math.IsInf(rho, 1) {
+		t.Errorf("zero banks ρ = %v", rho)
+	}
+}
+
+func TestExpectedBankDelay(t *testing.T) {
+	m := J90()
+	w := m.ExpectedBankDelay()
+	// Must exceed the bare service time but stay modest at ρ = 0.22.
+	if w <= m.D || w > m.D*1.5 {
+		t.Errorf("sojourn = %v for d=%v ρ=%.2f", w, m.D, m.BankUtilization())
+	}
+	// Saturated memory: infinite delay.
+	sat := Machine{Procs: 8, Banks: 8, D: 14, G: 1} // ρ = 14
+	if !math.IsInf(sat.ExpectedBankDelay(), 1) {
+		t.Error("saturated bank delay should be +Inf")
+	}
+	// Delay grows with utilization.
+	lo := Machine{Procs: 8, Banks: 1024, D: 8, G: 1}
+	hi := Machine{Procs: 8, Banks: 128, D: 8, G: 1}
+	if hi.ExpectedBankDelay() <= lo.ExpectedBankDelay() {
+		t.Error("sojourn should grow with ρ")
+	}
+}
+
+func TestPredictWindowedRegimes(t *testing.T) {
+	m := J90()
+	n := 1 << 14
+	netDelay := 50.0
+	open := m.PredictWindowed(n, 0, netDelay)
+	// Huge window: same as open loop (bandwidth-bound).
+	big := m.PredictWindowed(n, 1024, netDelay)
+	if math.Abs(big-open)/open > 0.25 {
+		t.Errorf("large window %v far from open loop %v", big, open)
+	}
+	// Window of 1 with 100-cycle round trip: latency-bound, ~roundTrip
+	// per request per processor.
+	one := m.PredictWindowed(n, 1, netDelay)
+	wantPerReq := 2*netDelay + m.ExpectedBankDelay()
+	want := wantPerReq * float64(n/m.Procs)
+	if math.Abs(one-want)/want > 0.05 {
+		t.Errorf("window=1: %v, want ≈ %v", one, want)
+	}
+	// Monotone: smaller windows never faster.
+	prev := math.Inf(1)
+	for _, w := range []int{1, 2, 4, 16, 64, 1024} {
+		v := m.PredictWindowed(n, w, netDelay)
+		if v > prev*1.0001 {
+			t.Errorf("window %d: %v slower than smaller window %v", w, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestPredictWindowedMatchesSimulatorShape(t *testing.T) {
+	// Cross-check against the event simulator: window=1 with latency
+	// must land within 25% of the queueing-model prediction. (The
+	// simulator lives in a higher package; this test validates only the
+	// closed form's internal consistency with the fields it uses.)
+	m := J90()
+	m.L = 100 // netDelay = 50 each way in the simulator's default
+	n := 1 << 10
+	pred := m.PredictWindowed(n, 1, 50)
+	// Serial round-trip reasoning: h requests, each ~ 100 + d + wait.
+	h := float64(n / m.Procs)
+	lower := h * (100 + m.D)
+	if pred < lower {
+		t.Errorf("windowed prediction %v below hard lower bound %v", pred, lower)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dxbsp/internal/algos"
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/tablefmt"
+	"dxbsp/internal/vector"
+)
+
+// This file regenerates the algorithm studies of Section 6:
+// F10 (binary search), F11 (random permutation), F12 (sparse
+// matrix–vector multiplication) and F13 (connected components).
+
+func newJ90VM() *vector.Machine { return vector.New(core.J90()) }
+
+// F10 compares the replicated-tree QRQW binary search against the naive
+// unreplicated descent and the sort-based EREW lookup, sweeping the number
+// of queries n against a fixed large dictionary.
+func F10(cfg Config) *tablefmt.Table {
+	mDict := 1 << 17
+	if cfg.Quick {
+		mDict = 1 << 13
+	}
+	g := rng.New(cfg.Seed)
+	dict := make([]int64, mDict-1)
+	for i := range dict {
+		dict[i] = int64(g.Intn(1 << 20))
+	}
+	sortInt64s(dict)
+
+	t := tablefmt.New(fmt.Sprintf("F10: binary search in a dictionary of %d keys (cycles)", len(dict)),
+		"n queries", "QRQW replicated r=256", "naive r=1", "EREW sort-based")
+	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+	if cfg.Quick {
+		sizes = []int{1 << 8, 1 << 10}
+	}
+	for _, n := range sizes {
+		queries := make([]int64, n)
+		for i := range queries {
+			queries[i] = int64(g.Intn(1 << 20))
+		}
+		cy := func(r int) float64 {
+			vm := newJ90VM()
+			tree := algos.BuildSearchTree(vm, dict, r)
+			vm.Reset()
+			tree.Search(queries, rng.New(cfg.Seed^uint64(n)))
+			return vm.Cycles()
+		}
+		vmE := newJ90VM()
+		algos.SearchEREW(vmE, dict, queries, 1<<20)
+		t.AddRow(n, cy(256), cy(1), vmE.Cycles())
+	}
+	return t
+}
+
+func sortInt64s(xs []int64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// F11 reproduces Figure 11: the QRQW dart-throwing random permutation
+// against the EREW radix-sort permutation across problem sizes.
+func F11(cfg Config) *tablefmt.Table {
+	t := tablefmt.New("F11: random permutation generation (J90, cycles)",
+		"n", "QRQW darts", "rounds", "darts contention", "EREW radix sort", "EREW/QRQW")
+	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	if cfg.Quick {
+		sizes = []int{1 << 8, 1 << 10, 1 << 12}
+	}
+	for _, n := range sizes {
+		vmQ := newJ90VM()
+		q := algos.RandomPermuteQRQW(vmQ, n, rng.New(cfg.Seed^uint64(n)))
+		vmE := newJ90VM()
+		algos.RandomPermuteEREW(vmE, n, 40, rng.New(cfg.Seed^uint64(n)))
+		t.AddRow(n, vmQ.Cycles(), q.Rounds, q.MaxContention, vmE.Cycles(),
+			vmE.Cycles()/vmQ.Cycles())
+	}
+	return t
+}
+
+// F12 reproduces Figure 12: sparse matrix–vector multiply time as a
+// function of the dense column length, with BSP and (d,x)-BSP predictions
+// of the gather superstep alongside the full measured cost.
+func F12(cfg Config) *tablefmt.Table {
+	rows := cfg.N
+	nnzPerRow := 4
+	t := tablefmt.New(fmt.Sprintf("F12: SpMV, %d rows x %d nnz/row (J90, cycles)", rows, nnzPerRow),
+		"dense column len", "total (vm)", "gather (d,x)-BSP", "gather BSP", "gather contention")
+	lens := []int{1, 16, 256, 4096, rows}
+	if cfg.Quick {
+		lens = []int{1, 64, rows}
+	}
+	g := rng.New(cfg.Seed)
+	x := make([]int64, 1024)
+	for i := range x {
+		x[i] = int64(g.Intn(100))
+	}
+	for _, dl := range lens {
+		a := algos.RandomCSR(rows, len(x), nnzPerRow, dl, g.Split())
+		vm := newJ90VM()
+		res := algos.SpMV(vm, a, x)
+		t.AddRow(dl, vm.Cycles(), res.PredictedDXBSP, res.PredictedBSP, res.GatherContention)
+	}
+	return t
+}
+
+// F13 reproduces the connected-components study: per-phase cycles and
+// contention for three graph families with very different contention
+// structure.
+func F13(cfg Config) *tablefmt.Table {
+	n := cfg.N / 4
+	t := tablefmt.New(fmt.Sprintf("F13: connected components phases (J90, n=%d vertices)", n),
+		"graph", "rounds", "phase", "supersteps", "cycles", "max contention")
+	graphs := []struct {
+		name string
+		g    *algos.Graph
+	}{
+		{"random m=2n", algos.RandomGraph(n, 2*n, rng.New(cfg.Seed))},
+		{"star", algos.StarGraph(n)},
+		{"path", algos.PathGraph(n)},
+	}
+	for _, gr := range graphs {
+		vm := newJ90VM()
+		res := algos.ConnectedComponents(vm, gr.g, rng.New(cfg.Seed^0x99))
+		for _, phase := range []string{"hook", "shortcut", "contract"} {
+			st := res.Phases[phase]
+			t.AddRow(gr.name, res.Rounds, phase, st.Supersteps, st.Cycles, st.MaxContention)
+		}
+	}
+	return t
+}

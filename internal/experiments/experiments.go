@@ -1,0 +1,113 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the simulated machines: the machine catalogue (T1), the
+// model calibration (T2), hash function costs (T3), the model-validation
+// figures (F1–F5), the expansion and random-mapping studies (F6–F7), the
+// QRQW emulation studies (F8–F9), and the algorithm studies (F10–F13).
+//
+// Each experiment is a pure function from a Config to a renderable result,
+// shared by the cmd/dxbench harness and the repository's testing.B
+// benchmarks. DESIGN.md maps each experiment ID to the paper's figure or
+// table and states the shape it is expected to reproduce; EXPERIMENTS.md
+// records the outcomes.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/tablefmt"
+)
+
+// Config controls experiment scale.
+type Config struct {
+	// N is the bulk operation size; the paper uses S = 64K elements.
+	N int
+	// Seed makes every experiment deterministic.
+	Seed uint64
+	// Quick shrinks sweeps for use in unit tests.
+	Quick bool
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{N: 1 << 16, Seed: 0xd5bcf95, Quick: false}
+}
+
+// QuickConfig returns a fast configuration for tests.
+func QuickConfig() Config {
+	return Config{N: 1 << 12, Seed: 0xd5bcf95, Quick: true}
+}
+
+// Renderable is anything an experiment can produce.
+type Renderable interface {
+	Render(w io.Writer)
+}
+
+// Experiment couples an ID with its regenerator.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) Renderable
+}
+
+// All returns the experiment registry in presentation order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Machines with more banks than processors", func(c Config) Renderable { return T1(c) }},
+		{"T2", "(d,x)-BSP parameters measured on the simulated machines", func(c Config) Renderable { return T2(c) }},
+		{"T3", "Hash function evaluation cost", func(c Config) Renderable { return T3(c) }},
+		{"F1", "Predicted vs measured time, connected-components patterns", func(c Config) Renderable { return F1(c) }},
+		{"F2", "Experiment 1: scatter time vs location contention", func(c Config) Renderable { return F2(c) }},
+		{"F3", "Experiment 2: scatter time vs random-pattern range", func(c Config) Renderable { return F3(c) }},
+		{"F4", "Experiment 3: scatter time on entropy distributions", func(c Config) Renderable { return F4(c) }},
+		{"F5", "Multiprocessor versions (a)/(b)/(c): section congestion", func(c Config) Renderable { return F5(c) }},
+		{"F6", "Effect of the expansion factor", func(c Config) Renderable { return F6(c) }},
+		{"F7", "Module-map contention ratio vs expansion", func(c Config) Renderable { return F7(c) }},
+		{"F8", "QRQW emulation overhead for x <= d", func(c Config) Renderable { return F8(c) }},
+		{"F9", "QRQW emulation slowdown for x >= d", func(c Config) Renderable { return F9(c) }},
+		{"F10", "Binary search: QRQW replicated tree vs EREW sort", func(c Config) Renderable { return F10(c) }},
+		{"F11", "Random permutation: QRQW darts vs EREW radix sort", func(c Config) Renderable { return F11(c) }},
+		{"F12", "Sparse matrix-vector multiply vs dense column length", func(c Config) Renderable { return F12(c) }},
+		{"F13", "Connected components: per-phase contention", func(c Config) Renderable { return F13(c) }},
+		{"X1", "Extension: model validation across the whole catalogue", func(c Config) Renderable { return X1(c) }},
+		{"X2", "Extension: cached-DRAM banks [HS93] vs contention", func(c Config) Renderable { return X2(c) }},
+		{"X3", "Extension: multiprefix [She93] under key skew", func(c Config) Renderable { return X3(c) }},
+		{"X4", "Extension: Wyllie list ranking [RM94] contention pile-up", func(c Config) Renderable { return X4(c) }},
+		{"X5", "Extension: (d,x)-LogP vs LogP predictions", func(c Config) Renderable { return X5(c) }},
+		{"X6", "Extension: merge crossover vs key width", func(c Config) Renderable { return X6(c) }},
+		{"X7", "Extension: naive vs replicated broadcast", func(c Config) Renderable { return X7(c) }},
+		{"X8", "Extension: Zipf reference distributions", func(c Config) Renderable { return X8(c) }},
+		{"X9", "Extension: BFS across graph families", func(c Config) Renderable { return X9(c) }},
+		{"X10", "Extension: hash cost via the vector pipeline model", func(c Config) Renderable { return X10(c) }},
+		{"X11", "Extension: algorithm trace re-emulated on other machines", func(c Config) Renderable { return X11(c) }},
+		{"X12", "Extension: EREW vs QRQW emulation across bank delays", func(c Config) Renderable { return X12(c) }},
+		{"X13", "Extension: latency hiding vs issue window (queueing model)", func(c Config) Renderable { return X13(c) }},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// T1 renders the machine catalogue: the Table 1 premise that real machines
+// provide many more banks than processors, with bank delays above the
+// clock.
+func T1(Config) *tablefmt.Table {
+	t := tablefmt.New("T1: high-bandwidth machines (representative figures)",
+		"machine", "procs", "banks", "expansion x", "bank delay d", "d/x", "bandwidth matched")
+	ms := core.Catalogue()
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+	for _, m := range ms {
+		t.AddRow(m.Name, m.Procs, m.Banks, m.Expansion(), m.D,
+			m.EffectiveBankGap(), fmt.Sprintf("%v", m.BandwidthMatched()))
+	}
+	return t
+}

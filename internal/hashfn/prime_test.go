@@ -1,0 +1,128 @@
+package hashfn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dxbsp/internal/patterns"
+	"dxbsp/internal/rng"
+)
+
+func TestMulmod61(t *testing.T) {
+	cases := []struct{ a, b, want uint64 }{
+		{0, 5, 0},
+		{1, 1, 1},
+		{mersenne61 - 1, 1, mersenne61 - 1},
+		{mersenne61 - 1, 2, mersenne61 - 2}, // (p-1)*2 = 2p-2 ≡ p-2
+	}
+	for _, c := range cases {
+		if got := mulmod61(c.a, c.b); got != c.want {
+			t.Errorf("mulmod61(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestMulmod61Property(t *testing.T) {
+	// Against big-integer arithmetic via 128-bit decomposition: check
+	// (a*b) mod p == mulmod61 for random field elements using the
+	// identity on small operands where a*b fits in 64 bits.
+	f := func(aRaw, bRaw uint32) bool {
+		a, b := uint64(aRaw), uint64(bRaw)
+		return mulmod61(a, b) == (a*b)%mersenne61
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolyPrimeRangeAndDeterminism(t *testing.T) {
+	g := rng.New(1)
+	for _, k := range []int{1, 2, 3, 5} {
+		h := NewPolyPrime(k, 9, g)
+		gg := rng.New(2)
+		for i := 0; i < 5000; i++ {
+			x := gg.Uint64()
+			v := h.Hash(x)
+			if v >= 1<<9 {
+				t.Fatalf("k=%d: Hash(%#x) = %d out of range", k, x, v)
+			}
+			if v != h.Hash(x) {
+				t.Fatal("not deterministic")
+			}
+		}
+	}
+}
+
+func TestPolyPrimePairwiseCollisions(t *testing.T) {
+	// Degree-1 polynomials (k=2 coefficients) are exactly 2-universal:
+	// collision rate over random draws must be ≈ 2^-m.
+	const m = 8
+	g := rng.New(3)
+	pairs, draws := 100, 200
+	collisions := 0
+	for i := 0; i < pairs; i++ {
+		x, y := g.Uint64n(mersenne61), g.Uint64n(mersenne61)
+		if x == y {
+			continue
+		}
+		for j := 0; j < draws; j++ {
+			h := NewPolyPrime(2, m, g)
+			if h.Hash(x) == h.Hash(y) {
+				collisions++
+			}
+		}
+	}
+	rate := float64(collisions) / float64(pairs*draws)
+	if bound := 1.0 / (1 << m); rate > bound*2.5 {
+		t.Errorf("collision rate %v exceeds 2.5x the 2-universal bound %v", rate, bound)
+	}
+}
+
+func TestPolyPrimeSpreadsWorstCase(t *testing.T) {
+	const mBits = 9
+	banks := 1 << mBits
+	n := 8 * banks
+	addrs := patterns.WorstCaseBank(n, banks)
+	h := NewPolyPrime(3, mBits, rng.New(4))
+	c := Analyze(h, addrs)
+	if c.MaxBankLoad > n/8 {
+		t.Errorf("prime poly max bank load %d, want near %d", c.MaxBankLoad, n/banks)
+	}
+}
+
+func TestPolyPrimeCostAboveMod64Families(t *testing.T) {
+	g := rng.New(5)
+	linear := NewLinear(9, g)
+	prime2 := NewPolyPrime(2, 9, g)
+	if prime2.Ops().Cost() <= linear.Ops().Cost() {
+		t.Errorf("prime field should cost more than mod-2^64: %v vs %v",
+			prime2.Ops().Cost(), linear.Ops().Cost())
+	}
+	prime5 := NewPolyPrime(5, 9, g)
+	if prime5.Ops().Cost() <= prime2.Ops().Cost() {
+		t.Error("higher degree must cost more")
+	}
+}
+
+func TestPolyPrimeName(t *testing.T) {
+	h := NewPolyPrime(3, 8, rng.New(6))
+	if h.Name() != "prime-poly-3" {
+		t.Errorf("Name = %q", h.Name())
+	}
+}
+
+func TestNewPolyPrimePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewPolyPrime(0, 8, rng.New(1)) },
+		func() { NewPolyPrime(2, 0, rng.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,36 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"dxbsp/internal/core"
+)
+
+// FuzzParse exercises the workload parser and coster on arbitrary JSON:
+// neither may panic, and any accepted program must cost successfully or
+// fail with an error (never crash).
+func FuzzParse(f *testing.F) {
+	f.Add(sampleJSON)
+	f.Add(`{"supersteps":[{"compute":5}]}`)
+	f.Add(`{"supersteps":[{"pattern":{"kind":"allsame","n":4}}]}`)
+	f.Add(`{"supersteps":[{"pattern":{"kind":"contention","n":4,"k":3}}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, in string) {
+		p, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		// Clamp sizes so the fuzzer cannot allocate absurd patterns.
+		for i := range p.Supersteps {
+			if p.Supersteps[i].Pattern.N > 1<<12 {
+				p.Supersteps[i].Pattern.N = 1 << 12
+			}
+			if len(p.Supersteps[i].Pattern.Addrs) > 1<<12 {
+				p.Supersteps[i].Pattern.Addrs = p.Supersteps[i].Pattern.Addrs[:1<<12]
+			}
+		}
+		_, _ = Cost(p, core.J90(), 0, false) // must not panic
+	})
+}

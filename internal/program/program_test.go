@@ -1,0 +1,147 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+)
+
+const sampleJSON = `{
+  "name": "toy",
+  "seed": 7,
+  "supersteps": [
+    {"name": "spread", "pattern": {"kind": "permutation", "n": 4096}},
+    {"name": "hot", "pattern": {"kind": "contention", "n": 4096, "k": 512}, "repeat": 3},
+    {"name": "think", "compute": 1000}
+  ]
+}`
+
+func TestParse(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "toy" || len(p.Supersteps) != 3 {
+		t.Fatalf("parsed %+v", p)
+	}
+	if p.Supersteps[1].Repeat != 3 {
+		t.Errorf("repeat = %d", p.Supersteps[1].Repeat)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, in := range []string{
+		``, `{}`, `{"supersteps": []}`,
+		`{"supersteps": [{}], "bogusfield": 1}`,
+	} {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestPatternSpecBuild(t *testing.T) {
+	g := rng.New(1)
+	cases := []PatternSpec{
+		{Kind: "contention", N: 64, K: 8},
+		{Kind: "uniform", N: 64, M: 1000},
+		{Kind: "entropy", N: 64, M: 256, Rounds: 2},
+		{Kind: "stride", N: 64, Stride: 3},
+		{Kind: "allsame", N: 64},
+		{Kind: "permutation", N: 64},
+		{Kind: "zipf", N: 64, M: 100, S: 1.1},
+		{Kind: "explicit", Addrs: []uint64{1, 2, 3}},
+	}
+	for _, ps := range cases {
+		addrs, err := ps.Build(g)
+		if err != nil {
+			t.Errorf("%s: %v", ps.Kind, err)
+			continue
+		}
+		if len(addrs) == 0 {
+			t.Errorf("%s: empty", ps.Kind)
+		}
+	}
+	bad := []PatternSpec{
+		{Kind: "nope", N: 4},
+		{Kind: "contention", N: 10, K: 3},
+		{Kind: "contention", N: 10, K: 0},
+		{Kind: "uniform", N: 4},
+		{Kind: "entropy", N: 4, M: 100},
+		{Kind: "stride", N: 4},
+		{Kind: "zipf", N: 4},
+		{Kind: "explicit"},
+	}
+	for _, ps := range bad {
+		if _, err := ps.Build(g); err == nil {
+			t.Errorf("%+v accepted", ps)
+		}
+	}
+}
+
+func TestCostReport(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Cost(p, core.J90(), 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Steps) != 3 {
+		t.Fatalf("steps = %d", len(rep.Steps))
+	}
+	spread, hot, think := rep.Steps[0], rep.Steps[1], rep.Steps[2]
+	// The hot phase must show κ=512 and a dx cost above BSP.
+	if hot.Kappa != 512 {
+		t.Errorf("hot κ = %d", hot.Kappa)
+	}
+	if hot.DXBSP <= hot.BSP {
+		t.Errorf("hot: dx %v should exceed bsp %v", hot.DXBSP, hot.BSP)
+	}
+	// Spread phase: models agree.
+	if spread.DXBSP != spread.BSP {
+		t.Errorf("spread: dx %v vs bsp %v", spread.DXBSP, spread.BSP)
+	}
+	// Compute-only phase.
+	if think.Requests != 0 || think.BSP != 1000 {
+		t.Errorf("think = %+v", think)
+	}
+	// Simulation column populated and near the dx prediction for hot.
+	if hot.Sim <= 0 || hot.Sim > hot.DXBSP*1.5 || hot.Sim < hot.DXBSP*0.5 {
+		t.Errorf("hot sim %v vs dx %v", hot.Sim, hot.DXBSP)
+	}
+	// Totals respect repeats.
+	wantTotal := spread.DXBSP + 3*hot.DXBSP + think.DXBSP
+	if diff := rep.TotalDXBSP - wantTotal; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("TotalDXBSP = %v, want %v", rep.TotalDXBSP, wantTotal)
+	}
+}
+
+func TestCostErrors(t *testing.T) {
+	p := Program{Supersteps: []Superstep{{Pattern: PatternSpec{Kind: "nope", N: 4}}}}
+	if _, err := Cost(p, core.J90(), 0, false); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	good := Program{Supersteps: []Superstep{{ComputePerProc: 10}}}
+	if _, err := Cost(good, core.Machine{}, 0, false); err == nil {
+		t.Error("bad machine accepted")
+	}
+}
+
+func TestCostDeterministic(t *testing.T) {
+	p, _ := Parse(strings.NewReader(sampleJSON))
+	a, err := Cost(p, core.J90(), 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cost(p, core.J90(), 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalDXBSP != b.TotalDXBSP || a.TotalDXLogP != b.TotalDXLogP {
+		t.Error("costing not deterministic")
+	}
+}

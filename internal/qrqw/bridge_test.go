@@ -1,0 +1,68 @@
+package qrqw
+
+import (
+	"testing"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+)
+
+func TestProgramFromTraces(t *testing.T) {
+	steps := [][]uint64{
+		{1, 2, 3, 1, 1},
+		{7, 7},
+		{},
+	}
+	prog := ProgramFromTraces(steps, 4)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Steps) != 3 {
+		t.Fatalf("steps = %d", len(prog.Steps))
+	}
+	if prog.TotalRequests() != 7 {
+		t.Errorf("TotalRequests = %d", prog.TotalRequests())
+	}
+	ks := prog.StepContentions()
+	if ks[0] != 3 || ks[1] != 2 || ks[2] != 0 {
+		t.Errorf("StepContentions = %v", ks)
+	}
+	if prog.MaxContention() != 3 {
+		t.Errorf("MaxContention = %d", prog.MaxContention())
+	}
+	// Round-robin: vp0 gets addrs 1 and 1 in step 0.
+	if got := prog.Steps[0].Accesses[0]; len(got) != 2 || got[0] != 1 || got[1] != 1 {
+		t.Errorf("vp0 accesses = %v", got)
+	}
+}
+
+func TestProgramFromTracesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ProgramFromTraces(nil, 0)
+}
+
+func TestBridgedProgramEmulates(t *testing.T) {
+	// A captured trace (here synthesized) must flow through Emulate.
+	g := rng.New(1)
+	var steps [][]uint64
+	for s := 0; s < 3; s++ {
+		addrs := make([]uint64, 1024)
+		for i := range addrs {
+			addrs[i] = g.Uint64n(1 << 20)
+		}
+		steps = append(steps, addrs)
+	}
+	prog := ProgramFromTraces(steps, 1024)
+	m := core.Machine{Name: "b", Procs: 8, Banks: 128, D: 8, G: 1, L: 32}
+	res, err := Emulate(prog, m, nil, Analytic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles <= 0 || len(res.PerStep) != 3 {
+		t.Errorf("result = %+v", res)
+	}
+}

@@ -1,0 +1,50 @@
+package qrqw
+
+import (
+	"dxbsp/internal/rng"
+)
+
+// This file generates synthetic QRQW programs for the emulation
+// experiments (F8/F9): programs with one access per virtual processor per
+// step and a controlled contention profile.
+
+// RandomProgram returns a program of the given number of steps in which
+// each of v virtual processors makes one access per step to a location
+// drawn uniformly from [0, space). With space >= v the expected contention
+// per step is O(log v / log log v) — a low-contention program.
+func RandomProgram(v, steps int, space uint64, g *rng.Xoshiro256) Program {
+	prog := Program{V: v}
+	for s := 0; s < steps; s++ {
+		st := Step{Accesses: make([][]uint64, v)}
+		for i := 0; i < v; i++ {
+			st.Accesses[i] = []uint64{g.Uint64n(space)}
+		}
+		prog.Steps = append(prog.Steps, st)
+	}
+	return prog
+}
+
+// ContentionProgram returns a program in which every step has maximum
+// location contention exactly k: the v processors access v/k distinct
+// locations, k processors per location. Locations are drawn from a fresh
+// random offset per step so banks vary, and are spaced stride apart so
+// distinct locations do not share a bank under interleaving.
+func ContentionProgram(v, steps, k int, stride uint64, g *rng.Xoshiro256) Program {
+	if k <= 0 || v%k != 0 {
+		panic("qrqw: ContentionProgram: k must divide v")
+	}
+	if stride == 0 {
+		stride = 1
+	}
+	prog := Program{V: v}
+	m := v / k
+	for s := 0; s < steps; s++ {
+		base := g.Uint64n(1 << 40)
+		st := Step{Accesses: make([][]uint64, v)}
+		for i := 0; i < v; i++ {
+			st.Accesses[i] = []uint64{base + uint64(i%m)*stride}
+		}
+		prog.Steps = append(prog.Steps, st)
+	}
+	return prog
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"dxbsp/internal/core"
+)
+
+// RunReference is an independent, deliberately naive time-stepped
+// implementation of the same machine semantics as Run: it advances a
+// global clock one cycle at a time and moves requests between explicit
+// queues. It exists purely as a correctness oracle for the event-driven
+// engine — the two are written against the same informal spec but share
+// no code, so agreement is meaningful evidence. O(cycles * resources):
+// use small inputs.
+//
+// Supported subset: open-loop issue (no Window), no combining, no
+// sections, integral G, D and NetDelay.
+func RunReference(cfg Config, pt core.Pattern) (Result, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Window != 0 || cfg.Combining || cfg.UseSections || cfg.BankCacheLines != 0 {
+		return Result{}, fmt.Errorf("sim: RunReference supports only the basic configuration")
+	}
+	m := cfg.Machine
+	if m.G != math.Trunc(m.G) || m.D != math.Trunc(m.D) {
+		return Result{}, fmt.Errorf("sim: RunReference needs integral G and D")
+	}
+	netDelay := int(cfg.NetDelay)
+	if cfg.NetDelay == 0 {
+		netDelay = int(m.L / 2)
+	}
+	bm := cfg.BankMap
+	if bm == nil {
+		bm = core.InterleaveMap{Banks: m.Banks}
+	}
+	if bm.NumBanks() != m.Banks {
+		return Result{}, fmt.Errorf("sim: bank map covers %d banks, machine has %d", bm.NumBanks(), m.Banks)
+	}
+
+	type flight struct {
+		bank   int
+		arrive int
+	}
+	var inFlight []flight
+	bankQueue := make([][]int, m.Banks) // queued arrival markers (counts suffice)
+	bankBusyUntil := make([]int, m.Banks)
+	res := Result{Requests: pt.N()}
+	if pt.N() == 0 {
+		return res, nil
+	}
+
+	g := int(m.G)
+	d := int(m.D)
+	next := make([]int, pt.Procs()) // next index to issue per proc
+	remaining := pt.N()
+	completions := 0
+	lastDone := 0
+
+	for clock := 0; completions < pt.N(); clock++ {
+		if clock > pt.N()*(d+g+netDelay+4)+1000 {
+			return Result{}, fmt.Errorf("sim: RunReference did not converge")
+		}
+		// 1. Issue: each processor injects one request every g cycles.
+		if clock%g == 0 && remaining > 0 {
+			for p := range pt.PerProc {
+				if next[p] < len(pt.PerProc[p]) {
+					addr := pt.PerProc[p][next[p]]
+					next[p]++
+					remaining--
+					inFlight = append(inFlight, flight{bank: bm.Bank(addr), arrive: clock + netDelay})
+				}
+			}
+		}
+		// 2. Arrivals join bank queues.
+		kept := inFlight[:0]
+		for _, f := range inFlight {
+			if f.arrive == clock {
+				bankQueue[f.bank] = append(bankQueue[f.bank], clock)
+				if len(bankQueue[f.bank]) > res.MaxBankQueue {
+					res.MaxBankQueue = len(bankQueue[f.bank])
+				}
+			} else {
+				kept = append(kept, f)
+			}
+		}
+		inFlight = kept
+		// 3. Banks start services.
+		for b := range bankQueue {
+			if len(bankQueue[b]) > 0 && bankBusyUntil[b] <= clock {
+				bankQueue[b] = bankQueue[b][1:]
+				bankBusyUntil[b] = clock + d
+				res.BankServices++
+				res.BankBusy += m.D
+				done := clock + d + netDelay
+				if done > lastDone {
+					lastDone = done
+				}
+				completions++
+			}
+		}
+	}
+	res.Cycles = float64(lastDone)
+	return res, nil
+}

@@ -1,0 +1,461 @@
+// Package sim is a deterministic, cycle-level, discrete-event simulator of
+// the memory system of a high-bandwidth shared-memory multiprocessor — the
+// stand-in for the Cray C90 and J90 on which the paper's experiments ran.
+//
+// The simulated machine consists of:
+//
+//   - p processors, each issuing the requests of a bulk (vectorized)
+//     scatter/gather in order, one injection every g cycles;
+//   - a network that delivers a request to its memory bank after a fixed
+//     transit delay, optionally passing through one of a small number of
+//     network sections, each of which can accept at most one request every
+//     SectionGap cycles (this finite section bandwidth reproduces the
+//     paper's "version (c)" congestion anomaly);
+//   - x*p memory banks, each a FIFO server that is busy for d cycles per
+//     request (optionally combining simultaneous requests to the same
+//     address, which the paper's machines do NOT do — the switch exists for
+//     the ablation study);
+//   - responses that return to the issuing processor after the same transit
+//     delay, closing the loop when a per-processor window of outstanding
+//     requests is configured.
+//
+// The simulator is event-driven with deterministic tie-breaking, so a given
+// configuration and pattern always produce the identical cycle count.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"dxbsp/internal/core"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Machine core.Machine
+	BankMap core.BankMap // defaults to interleave over Machine.Banks
+
+	// Window is the maximum number of outstanding requests per processor.
+	// 0 means unlimited (open-loop vector pipeline, the default: latency
+	// is hidden by vectorization, as on the Cray).
+	Window int
+
+	// Combining makes banks satisfy all queued requests for the same
+	// address with a single d-cycle service. The machines modeled by the
+	// paper do not combine (the paper explicitly excludes Ranade-style
+	// combining); this switch exists for the ablation bench.
+	Combining bool
+
+	// NetDelay is the one-way transit time between a processor and a bank.
+	// It defaults to Machine.L/2 and affects only latency, not bandwidth.
+	NetDelay float64
+
+	// UseSections enables the network-section bottleneck when
+	// Machine.Sections > 1.
+	UseSections bool
+
+	// BankCacheLines enables the cached-DRAM bank organization studied by
+	// Hsu and Smith [HS93] (and available on the Tera), which the paper
+	// cites as a refinement the (d,x)-BSP omits: each bank keeps an LRU
+	// buffer of the most recent BankCacheLines rows; an access that hits a
+	// buffered row is serviced in BankHitDelay cycles instead of d.
+	// 0 disables caching (the paper's machines).
+	BankCacheLines int
+
+	// BankHitDelay is the service time of a row-buffer hit. Defaults to 1.
+	BankHitDelay float64
+
+	// BankRowShift is log2 of the row size in words: addresses sharing
+	// addr>>BankRowShift are in the same row. Defaults to 5 (32 words).
+	BankRowShift uint
+}
+
+// Result reports the outcome of simulating one superstep.
+type Result struct {
+	// Cycles is the completion time of the bulk operation: the cycle at
+	// which the last response arrives back at its processor.
+	Cycles float64
+	// Requests is the number of requests simulated.
+	Requests int
+	// BankServices is the number of bank service occupations; equal to
+	// Requests unless combining merged some.
+	BankServices int
+	// MaxBankServed is the largest number of requests handled by one bank.
+	MaxBankServed int
+	// MaxBankQueue is the high-water mark of any bank's queue length.
+	MaxBankQueue int
+	// MaxSectionQueue is the high-water mark of any section queue.
+	MaxSectionQueue int
+	// BankBusy is the total busy time summed over banks.
+	BankBusy float64
+	// RowHits counts bank services satisfied from the row buffer (always 0
+	// unless Config.BankCacheLines > 0).
+	RowHits int
+}
+
+// CyclesPerElement returns processor-cycles per element, the unit the
+// paper's graphs use.
+func (r Result) CyclesPerElement(p int) float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return r.Cycles * float64(p) / float64(r.Requests)
+}
+
+type request struct {
+	proc int
+	seq  int // global issue sequence for deterministic ties
+	addr uint64
+	bank int
+}
+
+type eventKind uint8
+
+const (
+	evInject      eventKind = iota // processor attempts next injection
+	evSectionDone                  // section finished forwarding a request
+	evBankArrive                   // request arrives at its bank
+	evBankDone                     // bank finished a service
+	evComplete                     // response arrives back at processor
+)
+
+type event struct {
+	time float64
+	seq  int // tie-break: FIFO by issue order
+	kind eventKind
+	proc int
+	req  request
+	idx  int // section or bank index for *Done events
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	if h[i].kind != h[j].kind {
+		return h[i].kind < h[j].kind
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type server struct {
+	busy  bool
+	queue []request
+	maxQ  int
+}
+
+func (s *server) enqueue(r request) {
+	s.queue = append(s.queue, r)
+	if len(s.queue) > s.maxQ {
+		s.maxQ = len(s.queue)
+	}
+}
+
+func (s *server) dequeue() (request, bool) {
+	if len(s.queue) == 0 {
+		return request{}, false
+	}
+	r := s.queue[0]
+	s.queue = s.queue[1:]
+	return r, true
+}
+
+type procState struct {
+	addrs       []uint64
+	next        int
+	outstanding int
+	blocked     bool
+	nextIssueAt float64
+	completed   int
+}
+
+// engine holds all mutable simulation state.
+type engine struct {
+	cfg      Config
+	bm       core.BankMap
+	events   eventHeap
+	procs    []procState
+	sections []server
+	banks    []server
+	seq      int
+
+	sectionOf func(bank int) int
+	res       Result
+	bankServe []int
+	bankRows  [][]uint64 // per-bank LRU row buffer (nil when caching off)
+	lastDone  float64
+}
+
+// Run simulates one superstep of pattern pt under cfg and returns the
+// result. It panics on an invalid machine; other misconfiguration returns
+// an error.
+func Run(cfg Config, pt core.Pattern) (Result, error) {
+	if err := cfg.Machine.Validate(); err != nil {
+		return Result{}, err
+	}
+	if pt.Procs() > cfg.Machine.Procs {
+		return Result{}, fmt.Errorf("sim: pattern has %d processor streams but machine has %d processors",
+			pt.Procs(), cfg.Machine.Procs)
+	}
+	bm := cfg.BankMap
+	if bm == nil {
+		bm = core.InterleaveMap{Banks: cfg.Machine.Banks}
+	}
+	if bm.NumBanks() != cfg.Machine.Banks {
+		return Result{}, fmt.Errorf("sim: bank map covers %d banks, machine has %d",
+			bm.NumBanks(), cfg.Machine.Banks)
+	}
+	if cfg.NetDelay == 0 {
+		cfg.NetDelay = cfg.Machine.L / 2
+	}
+	if cfg.BankCacheLines > 0 {
+		if cfg.BankHitDelay == 0 {
+			cfg.BankHitDelay = 1
+		}
+		if cfg.BankRowShift == 0 {
+			cfg.BankRowShift = 5
+		}
+	}
+
+	e := &engine{cfg: cfg, bm: bm}
+	if cfg.BankCacheLines > 0 {
+		e.bankRows = make([][]uint64, cfg.Machine.Banks)
+	}
+	e.procs = make([]procState, pt.Procs())
+	nSections := 1
+	if cfg.UseSections && cfg.Machine.Sections > 1 {
+		nSections = cfg.Machine.Sections
+	}
+	e.sections = make([]server, nSections)
+	e.banks = make([]server, cfg.Machine.Banks)
+	e.bankServe = make([]int, cfg.Machine.Banks)
+	banksPerSection := (cfg.Machine.Banks + nSections - 1) / nSections
+	e.sectionOf = func(bank int) int { return bank / banksPerSection }
+
+	total := 0
+	for i, addrs := range pt.PerProc {
+		e.procs[i].addrs = addrs
+		total += len(addrs)
+		if len(addrs) > 0 {
+			heap.Push(&e.events, event{time: 0, seq: e.nextSeq(), kind: evInject, proc: i})
+		}
+	}
+	e.res.Requests = total
+
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(event)
+		e.dispatch(ev)
+	}
+
+	e.res.Cycles = e.lastDone
+	for i, c := range e.bankServe {
+		if c > e.res.MaxBankServed {
+			e.res.MaxBankServed = c
+		}
+		if e.banks[i].maxQ > e.res.MaxBankQueue {
+			e.res.MaxBankQueue = e.banks[i].maxQ
+		}
+	}
+	for i := range e.sections {
+		if e.sections[i].maxQ > e.res.MaxSectionQueue {
+			e.res.MaxSectionQueue = e.sections[i].maxQ
+		}
+	}
+	return e.res, nil
+}
+
+func (e *engine) nextSeq() int {
+	e.seq++
+	return e.seq
+}
+
+func (e *engine) dispatch(ev event) {
+	switch ev.kind {
+	case evInject:
+		e.inject(ev.proc, ev.time)
+	case evSectionDone:
+		e.sectionDone(ev.idx, ev.req, ev.time)
+	case evBankArrive:
+		e.bankArrive(ev.req, ev.time)
+	case evBankDone:
+		e.bankDone(ev.idx, ev.time)
+	case evComplete:
+		e.complete(ev.proc, ev.time)
+	}
+}
+
+func (e *engine) inject(p int, now float64) {
+	ps := &e.procs[p]
+	if ps.next >= len(ps.addrs) {
+		return
+	}
+	if e.cfg.Window > 0 && ps.outstanding >= e.cfg.Window {
+		ps.blocked = true
+		return
+	}
+	addr := ps.addrs[ps.next]
+	req := request{proc: p, seq: e.nextSeq(), addr: addr, bank: e.bm.Bank(addr)}
+	ps.next++
+	ps.outstanding++
+	ps.nextIssueAt = now + e.cfg.Machine.G
+
+	// Route into the network: either straight to the bank, or through the
+	// bank's section first.
+	if len(e.sections) > 1 {
+		sec := e.sectionOf(req.bank)
+		e.arriveSection(sec, req, now+e.cfg.NetDelay)
+	} else {
+		heap.Push(&e.events, event{time: now + e.cfg.NetDelay, seq: req.seq, kind: evBankArrive, req: req})
+	}
+
+	if ps.next < len(ps.addrs) {
+		heap.Push(&e.events, event{time: ps.nextIssueAt, seq: e.nextSeq(), kind: evInject, proc: p})
+	}
+}
+
+func (e *engine) arriveSection(sec int, req request, now float64) {
+	s := &e.sections[sec]
+	if s.busy {
+		s.enqueue(req)
+		return
+	}
+	e.startSection(sec, req, now)
+}
+
+func (e *engine) startSection(sec int, req request, now float64) {
+	s := &e.sections[sec]
+	s.busy = true
+	done := now + e.cfg.Machine.SectionGap
+	heap.Push(&e.events, event{time: done, seq: req.seq, kind: evSectionDone, idx: sec, req: req})
+}
+
+func (e *engine) sectionDone(sec int, req request, now float64) {
+	// Forward to the bank, then start the next queued request.
+	heap.Push(&e.events, event{time: now, seq: req.seq, kind: evBankArrive, req: req})
+	s := &e.sections[sec]
+	if next, ok := s.dequeue(); ok {
+		e.startSection(sec, next, now)
+	} else {
+		s.busy = false
+	}
+}
+
+func (e *engine) bankArrive(req request, now float64) {
+	b := &e.banks[req.bank]
+	if b.busy {
+		b.enqueue(req)
+		return
+	}
+	e.startBank(req.bank, req, now)
+}
+
+func (e *engine) startBank(bank int, req request, now float64) {
+	b := &e.banks[bank]
+	b.busy = true
+	service := e.cfg.Machine.D
+	if e.bankRows != nil && e.rowAccess(bank, req.addr) {
+		service = e.cfg.BankHitDelay
+		e.res.RowHits++
+	}
+	done := now + service
+	e.res.BankServices++
+	e.res.BankBusy += service
+	e.bankServe[bank]++
+
+	// The request(s) complete at done; responses transit back.
+	complete := func(r request) {
+		heap.Push(&e.events, event{time: done + e.cfg.NetDelay, seq: r.seq, kind: evComplete, proc: r.proc})
+	}
+	complete(req)
+	if e.cfg.Combining {
+		// Serve every queued request for the same address in this service.
+		kept := b.queue[:0]
+		for _, q := range b.queue {
+			if q.addr == req.addr {
+				e.bankServe[bank]++
+				complete(q)
+			} else {
+				kept = append(kept, q)
+			}
+		}
+		b.queue = kept
+	}
+	heap.Push(&e.events, event{time: done, seq: req.seq, kind: evBankDone, idx: bank})
+}
+
+// rowAccess reports whether addr's row is in bank's row buffer and
+// updates the LRU state (most recent row at the end).
+func (e *engine) rowAccess(bank int, addr uint64) bool {
+	row := addr >> e.cfg.BankRowShift
+	rows := e.bankRows[bank]
+	for i, r := range rows {
+		if r == row {
+			// Move to MRU position.
+			copy(rows[i:], rows[i+1:])
+			rows[len(rows)-1] = row
+			return true
+		}
+	}
+	if len(rows) < e.cfg.BankCacheLines {
+		e.bankRows[bank] = append(rows, row)
+	} else {
+		copy(rows, rows[1:])
+		rows[len(rows)-1] = row
+	}
+	return false
+}
+
+func (e *engine) bankDone(bank int, now float64) {
+	b := &e.banks[bank]
+	if next, ok := b.dequeue(); ok {
+		e.startBank(bank, next, now)
+	} else {
+		b.busy = false
+	}
+}
+
+func (e *engine) complete(p int, now float64) {
+	ps := &e.procs[p]
+	ps.outstanding--
+	ps.completed++
+	if now > e.lastDone {
+		e.lastDone = now
+	}
+	if ps.blocked {
+		ps.blocked = false
+		t := now
+		if ps.nextIssueAt > t {
+			t = ps.nextIssueAt
+		}
+		heap.Push(&e.events, event{time: t, seq: e.nextSeq(), kind: evInject, proc: p})
+	}
+}
+
+// RunSupersteps simulates a sequence of supersteps (barrier between each)
+// and returns the per-step results plus the total cycles including one L
+// synchronization charge per superstep.
+func RunSupersteps(cfg Config, steps []core.Pattern) ([]Result, float64, error) {
+	results := make([]Result, 0, len(steps))
+	total := 0.0
+	for i, st := range steps {
+		r, err := Run(cfg, st)
+		if err != nil {
+			return nil, 0, fmt.Errorf("sim: superstep %d: %w", i, err)
+		}
+		results = append(results, r)
+		total += r.Cycles + cfg.Machine.L
+	}
+	return results, total, nil
+}

@@ -1,0 +1,184 @@
+// Package stats provides the small statistical helpers the experiment
+// harness uses: summaries, histograms, and series utilities.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual descriptive statistics of a sample.
+type Summary struct {
+	N             int
+	Min, Max      float64
+	Mean, Std     float64
+	P50, P90, P99 float64
+	Sum           float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero value.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	for _, x := range xs {
+		s.Sum += x
+	}
+	s.Mean = s.Sum / float64(s.N)
+	var sq float64
+	for _, x := range xs {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if s.N > 1 {
+		s.Std = math.Sqrt(sq / float64(s.N-1))
+	}
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using nearest-rank interpolation.
+func Percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MaxInt returns the maximum of xs, or 0 for an empty slice.
+func MaxInt(xs []int) int {
+	m := 0
+	for i, x := range xs {
+		if i == 0 || x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// MeanInt returns the arithmetic mean of xs, or 0 for an empty slice.
+func MeanInt(xs []int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	return float64(sum) / float64(len(xs))
+}
+
+// GeoMean returns the geometric mean of positive xs; it returns 0 if any
+// value is non-positive or the slice is empty.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		acc += math.Log(x)
+	}
+	return math.Exp(acc / float64(len(xs)))
+}
+
+// Histogram counts xs into nBins equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram of xs with nBins bins. Values outside
+// [min, max] are clamped to the first/last bin.
+func NewHistogram(xs []float64, min, max float64, nBins int) Histogram {
+	if nBins <= 0 {
+		panic(fmt.Sprintf("stats: NewHistogram with nBins=%d", nBins))
+	}
+	h := Histogram{Min: min, Max: max, Counts: make([]int, nBins)}
+	if max <= min {
+		h.Counts[0] = len(xs)
+		return h
+	}
+	w := (max - min) / float64(nBins)
+	for _, x := range xs {
+		b := int((x - min) / w)
+		if b < 0 {
+			b = 0
+		}
+		if b >= nBins {
+			b = nBins - 1
+		}
+		h.Counts[b]++
+	}
+	return h
+}
+
+// Mode returns the index of the fullest bin.
+func (h Histogram) Mode() int {
+	best, bestC := 0, -1
+	for i, c := range h.Counts {
+		if c > bestC {
+			best, bestC = i, c
+		}
+	}
+	return best
+}
+
+// Gini returns the Gini coefficient of a non-negative sample: 0 for a
+// perfectly even distribution, approaching 1 as the mass concentrates in
+// one element. Used to summarize per-bank load imbalance.
+func Gini(xs []int) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]int, n)
+	copy(sorted, xs)
+	sort.Ints(sorted)
+	var cum, weighted float64
+	for i, x := range sorted {
+		cum += float64(x)
+		weighted += float64(x) * float64(i+1)
+	}
+	if cum == 0 {
+		return 0
+	}
+	return (2*weighted - float64(n+1)*cum) / (float64(n) * cum)
+}
+
+// Ratio returns a/b, or +Inf when b is zero and a positive, or 1 when both
+// are zero (used for predicted-vs-measured tables).
+func Ratio(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return a / b
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasic(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Errorf("bad extrema: %+v", s)
+	}
+	if s.Mean != 3 {
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("Std = %v", s.Std)
+	}
+	if s.P50 != 3 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.Sum != 15 {
+		t.Errorf("Sum = %v", s.Sum)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Max != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Min != 42 || s.Max != 42 || s.Mean != 42 || s.Std != 0 {
+		t.Errorf("single summary: %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 40}, {0.5, 25}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if Percentile(nil, 0.5) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P50 && s.P50 <= s.P90 && s.P90 <= s.P99 && s.P99 <= s.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaxMeanInt(t *testing.T) {
+	if MaxInt(nil) != 0 {
+		t.Error("MaxInt(nil)")
+	}
+	if MaxInt([]int{-5, -2, -9}) != -2 {
+		t.Error("MaxInt negatives")
+	}
+	if MeanInt([]int{2, 4}) != 3 {
+		t.Error("MeanInt")
+	}
+	if MeanInt(nil) != 0 {
+		t.Error("MeanInt(nil)")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Errorf("GeoMean = %v", g)
+	}
+	if GeoMean([]float64{1, 0}) != 0 {
+		t.Error("GeoMean with zero")
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil)")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 10, -5}, 0, 4, 4)
+	// -5 clamps to bin 0, 10 clamps to bin 3.
+	if h.Counts[0] != 2 { // 0 and -5
+		t.Errorf("bin0 = %d", h.Counts[0])
+	}
+	if h.Counts[3] != 2 { // 3 and 10
+		t.Errorf("bin3 = %d", h.Counts[3])
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 6 {
+		t.Errorf("total = %d", total)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3}, 5, 5, 3)
+	if h.Counts[0] != 3 {
+		t.Errorf("degenerate range: %v", h.Counts)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("nBins=0 should panic")
+		}
+	}()
+	NewHistogram(nil, 0, 1, 0)
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := Histogram{Counts: []int{1, 5, 2}}
+	if h.Mode() != 1 {
+		t.Errorf("Mode = %d", h.Mode())
+	}
+}
+
+func TestGini(t *testing.T) {
+	if g := Gini([]int{5, 5, 5, 5}); math.Abs(g) > 1e-12 {
+		t.Errorf("even Gini = %v", g)
+	}
+	// All mass in one of many bins: approaches 1.
+	xs := make([]int, 100)
+	xs[0] = 1000
+	if g := Gini(xs); g < 0.95 {
+		t.Errorf("concentrated Gini = %v", g)
+	}
+	if Gini(nil) != 0 || Gini([]int{0, 0}) != 0 {
+		t.Error("degenerate Gini should be 0")
+	}
+	// Skewed beats uniform.
+	if Gini([]int{1, 2, 3, 10}) <= Gini([]int{4, 4, 4, 4}) {
+		t.Error("Gini ordering wrong")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(6, 3) != 2 {
+		t.Error("Ratio(6,3)")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Error("Ratio(1,0)")
+	}
+	if Ratio(0, 0) != 1 {
+		t.Error("Ratio(0,0)")
+	}
+}

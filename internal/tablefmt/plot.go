@@ -1,0 +1,206 @@
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// This file renders a Series as an ASCII line plot, so dxbench can show
+// the paper's figures as actual figures in a terminal. Each line gets a
+// glyph; points are plotted on a character grid with optional log axes
+// (most of the paper's figures are log-log).
+
+// PlotOptions controls RenderPlot.
+type PlotOptions struct {
+	// Width and Height are the plot area in characters (excluding axis
+	// labels). Zero values default to 64x16.
+	Width, Height int
+	// LogX / LogY use log10 scales (points must be positive on that
+	// axis).
+	LogX, LogY bool
+}
+
+var plotGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '~'}
+
+// RenderPlot draws the series as an ASCII chart. Non-positive values are
+// clamped to the axis minimum under log scaling.
+func (s *Series) RenderPlot(w io.Writer, opt PlotOptions) {
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+	if len(s.X) == 0 || len(s.lines) == 0 {
+		fmt.Fprintf(w, "== %s == (no data)\n", s.Title)
+		return
+	}
+
+	xmin, xmax := rangeOf(s.X, opt.LogX)
+	var ally []float64
+	for _, l := range s.lines {
+		ally = append(ally, l.y...)
+	}
+	ymin, ymax := rangeOf(ally, opt.LogY)
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for li, l := range s.lines {
+		g := plotGlyphs[li%len(plotGlyphs)]
+		for i, x := range s.X {
+			cx := scale(x, xmin, xmax, opt.Width-1, opt.LogX)
+			cy := scale(l.y[i], ymin, ymax, opt.Height-1, opt.LogY)
+			row := opt.Height - 1 - cy
+			grid[row][cx] = g
+		}
+	}
+
+	if s.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", s.Title)
+	}
+	topLabel := axisLabel(ymax, opt.LogY)
+	botLabel := axisLabel(ymin, opt.LogY)
+	labelW := len(topLabel)
+	if len(botLabel) > labelW {
+		labelW = len(botLabel)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = padLeft(topLabel, labelW)
+		case opt.Height - 1:
+			label = padLeft(botLabel, labelW)
+		}
+		fmt.Fprintf(w, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", opt.Width))
+	fmt.Fprintf(w, "%s  %s%s%s\n", strings.Repeat(" ", labelW),
+		axisLabel(xmin, opt.LogX),
+		strings.Repeat(" ", maxInt(1, opt.Width-len(axisLabel(xmin, opt.LogX))-len(axisLabel(xmax, opt.LogX)))),
+		axisLabel(xmax, opt.LogX))
+	for li, l := range s.lines {
+		fmt.Fprintf(w, "  %c %s\n", plotGlyphs[li%len(plotGlyphs)], l.label)
+	}
+	fmt.Fprintf(w, "  x: %s\n", s.XLabel)
+}
+
+func rangeOf(xs []float64, logScale bool) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, x := range xs {
+		if logScale && x <= 0 {
+			continue
+		}
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	if math.IsInf(lo, 1) { // all values invalid for log: fall back
+		lo, hi = 1, 10
+	}
+	if lo == hi {
+		hi = lo + 1
+	}
+	return lo, hi
+}
+
+func scale(v, lo, hi float64, steps int, logScale bool) int {
+	if logScale {
+		if v <= 0 {
+			v = lo
+		}
+		v, lo, hi = math.Log10(v), math.Log10(lo), math.Log10(hi)
+	}
+	f := (v - lo) / (hi - lo)
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	return int(math.Round(f * float64(steps)))
+}
+
+func axisLabel(v float64, logScale bool) string {
+	_ = logScale
+	return formatFloat(v)
+}
+
+func padLeft(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// PlotTable renders selected numeric columns of a table as a plot, using
+// column 0 as the x axis. Column indexes out of range are skipped; rows
+// whose cells fail to parse are skipped. It returns false if nothing
+// plottable was found.
+func PlotTable(w io.Writer, t *Table, yCols []int, opt PlotOptions) bool {
+	if len(t.rows) == 0 || len(t.Headers) < 2 {
+		return false
+	}
+	if len(yCols) == 0 {
+		for c := 1; c < len(t.Headers); c++ {
+			yCols = append(yCols, c)
+		}
+	}
+	var xs []float64
+	ys := make([][]float64, len(yCols))
+	for _, row := range t.rows {
+		x, okx := parseCell(row, 0)
+		if !okx {
+			continue
+		}
+		vals := make([]float64, len(yCols))
+		ok := true
+		for i, c := range yCols {
+			v, okv := parseCell(row, c)
+			if !okv {
+				ok = false
+				break
+			}
+			vals[i] = v
+		}
+		if !ok {
+			continue
+		}
+		xs = append(xs, x)
+		for i := range yCols {
+			ys[i] = append(ys[i], vals[i])
+		}
+	}
+	if len(xs) < 2 {
+		return false
+	}
+	s := NewSeries(t.Title, t.Headers[0], xs)
+	for i, c := range yCols {
+		s.Add(t.Headers[c], ys[i])
+	}
+	s.RenderPlot(w, opt)
+	return true
+}
+
+func parseCell(row []string, c int) (float64, bool) {
+	if c >= len(row) {
+		return 0, false
+	}
+	var v float64
+	_, err := fmt.Sscanf(strings.TrimSpace(row[c]), "%g", &v)
+	return v, err == nil
+}

@@ -1,0 +1,99 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderPlotBasic(t *testing.T) {
+	s := NewSeries("fig", "k", []float64{1, 2, 3, 4})
+	s.Add("measured", []float64{1, 2, 3, 4})
+	s.Add("predicted", []float64{4, 3, 2, 1})
+	var b strings.Builder
+	s.RenderPlot(&b, PlotOptions{Width: 20, Height: 8})
+	out := b.String()
+	for _, want := range []string{"== fig ==", "*", "o", "measured", "predicted", "x: k"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot missing %q:\n%s", want, out)
+		}
+	}
+	// 8 grid rows + axis + labels: rows with the | margin.
+	if got := strings.Count(out, "|"); got != 8 {
+		t.Errorf("grid rows = %d, want 8:\n%s", got, out)
+	}
+}
+
+func TestRenderPlotLogScales(t *testing.T) {
+	s := NewSeries("log", "n", []float64{1, 10, 100, 1000})
+	s.Add("y", []float64{1, 10, 100, 1000})
+	var b strings.Builder
+	s.RenderPlot(&b, PlotOptions{Width: 31, Height: 11, LogX: true, LogY: true})
+	out := b.String()
+	// Under log-log a power law is a straight diagonal: the corner points
+	// must be present in the first and last grid columns.
+	lines := strings.Split(out, "\n")
+	var gridLines []string
+	for _, ln := range lines {
+		if strings.Contains(ln, "|") {
+			gridLines = append(gridLines, ln[strings.Index(ln, "|")+1:])
+		}
+	}
+	if len(gridLines) != 11 {
+		t.Fatalf("grid lines = %d:\n%s", len(gridLines), out)
+	}
+	if gridLines[0][len(gridLines[0])-1] != '*' {
+		t.Errorf("top-right corner missing:\n%s", out)
+	}
+	if gridLines[10][0] != '*' {
+		t.Errorf("bottom-left corner missing:\n%s", out)
+	}
+}
+
+func TestRenderPlotEmpty(t *testing.T) {
+	s := NewSeries("empty", "x", nil)
+	var b strings.Builder
+	s.RenderPlot(&b, PlotOptions{})
+	if !strings.Contains(b.String(), "no data") {
+		t.Errorf("empty plot output: %q", b.String())
+	}
+}
+
+func TestRenderPlotConstantSeries(t *testing.T) {
+	// Constant y must not divide by zero.
+	s := NewSeries("const", "x", []float64{1, 2})
+	s.Add("y", []float64{5, 5})
+	var b strings.Builder
+	s.RenderPlot(&b, PlotOptions{Width: 10, Height: 4})
+	if !strings.Contains(b.String(), "*") {
+		t.Error("constant series lost its points")
+	}
+}
+
+func TestPlotTable(t *testing.T) {
+	tbl := New("tab", "k", "sim", "pred", "notes")
+	tbl.AddRow(1, 10.0, 11.0, "a")
+	tbl.AddRow(2, 20.0, 21.0, "b")
+	tbl.AddRow(4, 40.0, 39.0, "c")
+	var b strings.Builder
+	if !PlotTable(&b, tbl, []int{1, 2}, PlotOptions{Width: 16, Height: 6}) {
+		t.Fatal("PlotTable returned false")
+	}
+	out := b.String()
+	if !strings.Contains(out, "sim") || !strings.Contains(out, "pred") {
+		t.Errorf("plot missing legends:\n%s", out)
+	}
+}
+
+func TestPlotTableDefaultsAndFailure(t *testing.T) {
+	tbl := New("t", "name", "v")
+	tbl.AddRow("a", 1)
+	tbl.AddRow("b", 2)
+	var b strings.Builder
+	// Non-numeric x column: nothing plottable.
+	if PlotTable(&b, tbl, nil, PlotOptions{}) {
+		t.Error("non-numeric table should not plot")
+	}
+	if PlotTable(&b, New("e", "x", "y"), nil, PlotOptions{}) {
+		t.Error("empty table should not plot")
+	}
+}

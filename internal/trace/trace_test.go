@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "# header\n1\n2\n\n0x10\n0XFF\n  7  \n"
+	got, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 16, 255, 7}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("addr %d: got %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, in := range []string{"abc\n", "1\n-2\n", "0xZZ\n"} {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	got, err := Read(strings.NewReader("# only comments\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("got %v", got)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	f := func(addrs []uint64) bool {
+		var b strings.Builder
+		if err := Write(&b, "round\ntrip", addrs); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(b.String()))
+		if err != nil {
+			return false
+		}
+		if len(got) != len(addrs) {
+			return false
+		}
+		for i := range addrs {
+			if got[i] != addrs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCommentEscaping(t *testing.T) {
+	var b strings.Builder
+	if err := Write(&b, "line1\nline2", []uint64{5}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "# line1\n# line2\n5\n") {
+		t.Errorf("output = %q", out)
+	}
+}

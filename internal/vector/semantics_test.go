@@ -1,0 +1,118 @@
+package vector
+
+import (
+	"testing"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+)
+
+// Randomized semantic equivalence: a random sequence of vector operations
+// executed on the Machine must produce exactly the same data as a plain
+// Go reference interpreter. This guards the invariant the whole algorithm
+// layer rests on: cost accounting never perturbs semantics.
+
+type refState struct {
+	vecs [][]int64
+}
+
+func TestRandomProgramSemantics(t *testing.T) {
+	const (
+		trials  = 30
+		nVecs   = 4
+		vecLen  = 64
+		opCount = 40
+	)
+	for trial := 0; trial < trials; trial++ {
+		g := rng.New(uint64(trial)*0x9e37 + 1)
+		vm := New(core.J90())
+		ref := refState{}
+		var vs []*Vec
+		for i := 0; i < nVecs; i++ {
+			data := make([]int64, vecLen)
+			for j := range data {
+				data[j] = int64(g.Intn(100))
+			}
+			vs = append(vs, vm.AllocInit(data))
+			ref.vecs = append(ref.vecs, append([]int64(nil), data...))
+		}
+		idxData := make([]int64, vecLen)
+		for j := range idxData {
+			idxData[j] = int64(g.Intn(vecLen))
+		}
+		idx := vm.AllocInit(idxData)
+
+		for op := 0; op < opCount; op++ {
+			a, b, dst := g.Intn(nVecs), g.Intn(nVecs), g.Intn(nVecs)
+			switch g.Intn(8) {
+			case 0: // Fill
+				v := int64(g.Intn(50))
+				vm.Fill(vs[dst], v)
+				for j := range ref.vecs[dst] {
+					ref.vecs[dst][j] = v
+				}
+			case 1: // Iota
+				vm.Iota(vs[dst])
+				for j := range ref.vecs[dst] {
+					ref.vecs[dst][j] = int64(j)
+				}
+			case 2: // Map2 add
+				vm.Map2(vs[dst], vs[a], vs[b], func(x, y int64) int64 { return x + y }, 1)
+				for j := range ref.vecs[dst] {
+					ref.vecs[dst][j] = ref.vecs[a][j] + ref.vecs[b][j]
+				}
+			case 3: // Gather
+				if dst == a {
+					continue
+				}
+				vm.Gather(vs[dst], vs[a], idx)
+				for j := range ref.vecs[dst] {
+					ref.vecs[dst][j] = ref.vecs[a][idxData[j]]
+				}
+			case 4: // Scatter (last writer wins, vector order)
+				if dst == a {
+					continue
+				}
+				vm.Scatter(vs[dst], vs[a], idx)
+				for j := range ref.vecs[a] {
+					ref.vecs[dst][idxData[j]] = ref.vecs[a][j]
+				}
+			case 5: // ScanAdd
+				if dst == a {
+					continue
+				}
+				vm.ScanAdd(vs[dst], vs[a])
+				acc := int64(0)
+				for j := range ref.vecs[a] {
+					ref.vecs[dst][j] = acc
+					acc += ref.vecs[a][j]
+				}
+			case 6: // ScatterAdd
+				if dst == a {
+					continue
+				}
+				vm.ScatterAdd(vs[dst], vs[a], idx)
+				for j := range ref.vecs[a] {
+					ref.vecs[dst][idxData[j]] += ref.vecs[a][j]
+				}
+			case 7: // Map1 negate
+				vm.Map1(vs[dst], vs[a], func(x int64) int64 { return -x }, 1)
+				for j := range ref.vecs[dst] {
+					ref.vecs[dst][j] = -ref.vecs[a][j]
+				}
+			}
+		}
+
+		for i := range vs {
+			for j := range vs[i].Data {
+				if vs[i].Data[j] != ref.vecs[i][j] {
+					t.Fatalf("trial %d: vec %d[%d] = %d, reference %d",
+						trial, i, j, vs[i].Data[j], ref.vecs[i][j])
+				}
+			}
+		}
+		if vm.Cycles() <= 0 {
+			t.Fatalf("trial %d: no cycles charged", trial)
+		}
+	}
+}
