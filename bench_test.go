@@ -41,7 +41,7 @@ func runExperiment(b *testing.B, id string) {
 	cfg := benchConfig()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		e.Run(cfg).Render(io.Discard)
+		e.MustRun(cfg).Render(io.Discard)
 	}
 }
 

@@ -9,9 +9,21 @@
 //	dxbench -quick           # reduced sweep sizes
 //	dxbench -n 65536         # bulk operation size
 //	dxbench -seed 7          # RNG seed
+//	dxbench -parallel 8      # worker count (default GOMAXPROCS)
+//	dxbench -progress        # per-point progress on stderr
+//	dxbench -timing          # per-experiment timing + run summary
+//	dxbench -events run.json # JSON-lines event log
+//
+// Experiments fan out over a worker pool; output is byte-identical for
+// every -parallel value, because results are assembled in sweep order and
+// all shared random draws happen before the fan-out. A content-keyed cache
+// (disable with -nocache) executes each distinct simulation once per run,
+// even when several sweeps share a baseline.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +31,7 @@ import (
 	"time"
 
 	"dxbsp/internal/experiments"
+	"dxbsp/internal/runner"
 	"dxbsp/internal/tablefmt"
 )
 
@@ -31,14 +44,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("dxbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expID  = fs.String("experiment", "", "experiment ID to run (default: all)")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		quick  = fs.Bool("quick", false, "use reduced sweep sizes")
-		n      = fs.Int("n", 0, "bulk operation size (default 65536, or 4096 with -quick)")
-		seed   = fs.Uint64("seed", 0, "random seed (default: built-in)")
-		format = fs.String("format", "text", "output format: text, csv, or plot (ASCII chart)")
-		logx   = fs.Bool("logx", false, "log-scale x axis for -format plot")
-		logy   = fs.Bool("logy", false, "log-scale y axis for -format plot")
+		expID    = fs.String("experiment", "", "experiment ID to run (default: all)")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		quick    = fs.Bool("quick", false, "use reduced sweep sizes")
+		n        = fs.Int("n", 0, "bulk operation size (default 65536, or 4096 with -quick)")
+		seed     = fs.Uint64("seed", 0, "random seed (default: built-in)")
+		format   = fs.String("format", "text", "output format: text, csv, or plot (ASCII chart)")
+		logx     = fs.Bool("logx", false, "log-scale x axis for -format plot")
+		logy     = fs.Bool("logy", false, "log-scale y axis for -format plot")
+		parallel = fs.Int("parallel", 0, "worker goroutines per experiment (default: GOMAXPROCS)")
+		progress = fs.Bool("progress", false, "report per-point progress on stderr")
+		timing   = fs.Bool("timing", false, "append per-experiment timing lines and a run summary")
+		events   = fs.String("events", "", "write a JSON-lines event log to this file")
+		nocache  = fs.Bool("nocache", false, "disable the memoized simulation cache")
+		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0: no limit)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -76,38 +95,115 @@ func run(args []string, stdout, stderr io.Writer) int {
 		todo = []experiments.Experiment{e}
 	}
 
+	r := &runner.Runner{Parallel: *parallel}
+	if !*nocache {
+		r.Cache = runner.NewCache()
+	}
+	if *progress {
+		r.Progress = stderr
+	}
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return 2
+		}
+		defer f.Close()
+		r.Events = runner.NewEventLog(f)
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	results := make([]runner.Result, 0, len(todo))
 	for i, e := range todo {
 		if i > 0 {
 			fmt.Fprintln(stdout)
 		}
-		start := time.Now()
-		r := e.Run(cfg)
-		switch *format {
-		case "csv":
-			if c, ok := r.(csvRenderer); ok {
-				c.RenderCSV(stdout)
+		res, err := r.RunExperiment(ctx, e, cfg)
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(stderr, "dxbench: timeout after %v: %v\n", *timeout, err)
 			} else {
-				r.Render(stdout)
+				fmt.Fprintf(stderr, "dxbench: %v\n", err)
 			}
-			continue
-		case "plot":
-			opt := tablefmt.PlotOptions{LogX: *logx, LogY: *logy}
-			if tbl, ok := r.(*tablefmt.Table); ok && tablefmt.PlotTable(stdout, tbl, nil, opt) {
-				continue
-			}
-			if ser, ok := r.(*tablefmt.Series); ok {
-				ser.RenderPlot(stdout, opt)
-				continue
-			}
-			fmt.Fprintf(stderr, "dxbench: %s is not plottable; falling back to text\n", e.ID)
+			return 1
 		}
-		r.Render(stdout)
-		fmt.Fprintf(stdout, "[%s in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+		results = append(results, res)
+		renderResult(stdout, stderr, res.Output, e.ID, *format, *logx, *logy)
+		if *timing {
+			// The timing footer is a comment in CSV so the output stays
+			// machine-parseable; text and plot get the bare line.
+			prefix := ""
+			if *format == "csv" {
+				prefix = "# "
+			}
+			fmt.Fprintf(stdout, "%s[%s in %v]\n", prefix, e.ID, res.Stats.Wall.Round(time.Millisecond))
+		}
+	}
+
+	summary := runner.Event{Type: "run_done", Points: totalPoints(results)}
+	if r.Cache != nil {
+		cs := r.Cache.Stats()
+		summary.CacheHits, summary.CacheMisses, summary.CacheBypassed = cs.Hits, cs.Misses, cs.Bypassed
+	}
+	r.Events.Emit(summary)
+	if *timing {
+		printSummary(stderr, r, results)
 	}
 	return 0
 }
 
-// csvRenderer is satisfied by tablefmt.Table and tablefmt.Series.
-type csvRenderer interface {
-	RenderCSV(w io.Writer)
+// renderResult writes one experiment result in the requested format.
+func renderResult(stdout, stderr io.Writer, out experiments.Renderable, id, format string, logx, logy bool) {
+	switch format {
+	case "csv":
+		if c, ok := out.(tablefmt.CSVRenderer); ok {
+			c.RenderCSV(stdout)
+			return
+		}
+	case "plot":
+		opt := tablefmt.PlotOptions{LogX: logx, LogY: logy}
+		if tbl, ok := out.(*tablefmt.Table); ok && tablefmt.PlotTable(stdout, tbl, nil, opt) {
+			return
+		}
+		if ser, ok := out.(*tablefmt.Series); ok {
+			ser.RenderPlot(stdout, opt)
+			return
+		}
+		fmt.Fprintf(stderr, "dxbench: %s is not plottable; falling back to text\n", id)
+	}
+	out.Render(stdout)
+}
+
+// printSummary reports the run's execution statistics on stderr: per-
+// experiment wall time and pool utilization, then cache effectiveness.
+func printSummary(w io.Writer, r *runner.Runner, results []runner.Result) {
+	fmt.Fprintln(w, "run summary:")
+	var wall time.Duration
+	for _, res := range results {
+		wall += res.Stats.Wall
+		fmt.Fprintf(w, "  %-4s %3d point(s) on %d worker(s) in %8v  (util %3.0f%%)\n",
+			res.ID, res.Stats.Points, res.Stats.Workers,
+			res.Stats.Wall.Round(time.Millisecond), 100*res.Stats.Utilization())
+	}
+	fmt.Fprintf(w, "  total: %d experiment(s), %d point(s) in %v\n",
+		len(results), totalPoints(results), wall.Round(time.Millisecond))
+	if r.Cache != nil {
+		cs := r.Cache.Stats()
+		fmt.Fprintf(w, "  cache: %d hit(s), %d miss(es), %d bypassed (hit rate %.1f%%)\n",
+			cs.Hits, cs.Misses, cs.Bypassed, 100*cs.HitRate())
+	}
+}
+
+func totalPoints(rs []runner.Result) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Stats.Points
+	}
+	return n
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -29,8 +31,38 @@ func TestRunSingleExperiment(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit %d", code)
 	}
-	if !strings.Contains(out, "Cray C90") || !strings.Contains(out, "[T1 in") {
+	if !strings.Contains(out, "Cray C90") {
 		t.Errorf("T1 output:\n%s", out)
+	}
+	if strings.Contains(out, "[T1 in") {
+		t.Errorf("timing line printed without -timing:\n%s", out)
+	}
+}
+
+func TestRunTimingFlag(t *testing.T) {
+	out, errOut, code := runBench(t, "-quick", "-experiment", "T1", "-timing")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "[T1 in") {
+		t.Errorf("-timing missing footer:\n%s", out)
+	}
+	for _, want := range []string{"run summary:", "cache:"} {
+		if !strings.Contains(errOut, want) {
+			t.Errorf("-timing summary missing %q:\n%s", want, errOut)
+		}
+	}
+}
+
+// The timing footer must appear in every format; in CSV it is a comment so
+// the stream stays machine-parseable.
+func TestRunTimingInCSV(t *testing.T) {
+	out, _, code := runBench(t, "-quick", "-experiment", "T1", "-format", "csv", "-timing")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "# [T1 in") {
+		t.Errorf("csv -timing missing commented footer:\n%s", out)
 	}
 }
 
@@ -72,14 +104,67 @@ func TestRunErrors(t *testing.T) {
 func TestRunSeedAndN(t *testing.T) {
 	a, _, _ := runBench(t, "-quick", "-experiment", "F3", "-seed", "5", "-n", "2048")
 	b, _, _ := runBench(t, "-quick", "-experiment", "F3", "-seed", "5", "-n", "2048")
-	stripTime := func(s string) string {
-		i := strings.LastIndex(s, "[F3")
-		if i < 0 {
-			return s
-		}
-		return s[:i]
-	}
-	if stripTime(a) != stripTime(b) {
+	if a != b {
 		t.Error("same seed produced different output")
+	}
+}
+
+// The determinism guarantee, end to end: the full quick suite minus T3
+// (whose measured column is wall-clock) must be byte-identical across
+// worker counts and with the cache disabled.
+func TestRunParallelDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick suite")
+	}
+	ids := []string{"T2", "F2", "F5", "F6", "F7", "F10", "X2", "X13"}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			base, _, code := runBench(t, "-quick", "-experiment", id, "-parallel", "1")
+			if code != 0 {
+				t.Fatalf("exit %d", code)
+			}
+			for _, extra := range [][]string{
+				{"-parallel", "8"},
+				{"-parallel", "3"},
+				{"-parallel", "8", "-nocache"},
+			} {
+				args := append([]string{"-quick", "-experiment", id}, extra...)
+				out, _, code := runBench(t, args...)
+				if code != 0 {
+					t.Fatalf("%v: exit %d", extra, code)
+				}
+				if out != base {
+					t.Errorf("%v output differs from -parallel 1", extra)
+				}
+			}
+		})
+	}
+}
+
+func TestRunEventsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.json")
+	_, _, code := runBench(t, "-quick", "-experiment", "T1", "-events", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"experiment_start"`, `"point_done"`, `"experiment_done"`, `"run_done"`} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("event log missing %s:\n%s", want, data)
+		}
+	}
+}
+
+func TestRunProgress(t *testing.T) {
+	_, errOut, code := runBench(t, "-quick", "-experiment", "F2", "-progress")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(errOut, "[F2]") {
+		t.Errorf("progress output missing:\n%s", errOut)
 	}
 }

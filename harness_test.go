@@ -19,7 +19,7 @@ func TestEveryExperimentHasABench(t *testing.T) {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
 			cfg := experiments.QuickConfig()
-			r := e.Run(cfg)
+			r := e.MustRun(cfg)
 			var b strings.Builder
 			r.Render(&b)
 			if b.Len() == 0 {
@@ -41,5 +41,5 @@ func TestBenchConfigScale(t *testing.T) {
 	if !ok {
 		t.Fatal("F2 missing")
 	}
-	e.Run(cfg).Render(io.Discard)
+	e.MustRun(cfg).Render(io.Discard)
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dxbsp/internal/algos"
@@ -16,44 +17,59 @@ import (
 
 func newJ90VM() *vector.Machine { return vector.New(core.J90()) }
 
-// F10 compares the replicated-tree QRQW binary search against the naive
+// expF10 compares the replicated-tree QRQW binary search against the naive
 // unreplicated descent and the sort-based EREW lookup, sweeping the number
-// of queries n against a fixed large dictionary.
-func F10(cfg Config) *tablefmt.Table {
-	mDict := 1 << 17
-	if cfg.Quick {
-		mDict = 1 << 13
-	}
-	g := rng.New(cfg.Seed)
-	dict := make([]int64, mDict-1)
-	for i := range dict {
-		dict[i] = int64(g.Intn(1 << 20))
-	}
-	sortInt64s(dict)
+// of queries n against a fixed large dictionary. The dictionary and every
+// query batch are drawn from one shared stream, so Points materializes
+// them in sweep order; the dictionary is shared read-only by every point.
+func expF10() Experiment {
+	return sweep("F10", "Binary search: QRQW replicated tree vs EREW sort",
+		func(cfg Config) *tablefmt.Table {
+			mDict := 1 << 17
+			if cfg.Quick {
+				mDict = 1 << 13
+			}
+			return tablefmt.New(fmt.Sprintf("F10: binary search in a dictionary of %d keys (cycles)", mDict-1),
+				"n queries", "QRQW replicated r=256", "naive r=1", "EREW sort-based")
+		},
+		func(cfg Config) []Point {
+			mDict := 1 << 17
+			if cfg.Quick {
+				mDict = 1 << 13
+			}
+			g := rng.New(cfg.Seed)
+			dict := make([]int64, mDict-1)
+			for i := range dict {
+				dict[i] = int64(g.Intn(1 << 20))
+			}
+			sortInt64sQuick(dict)
 
-	t := tablefmt.New(fmt.Sprintf("F10: binary search in a dictionary of %d keys (cycles)", len(dict)),
-		"n queries", "QRQW replicated r=256", "naive r=1", "EREW sort-based")
-	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
-	if cfg.Quick {
-		sizes = []int{1 << 8, 1 << 10}
-	}
-	for _, n := range sizes {
-		queries := make([]int64, n)
-		for i := range queries {
-			queries[i] = int64(g.Intn(1 << 20))
-		}
-		cy := func(r int) float64 {
-			vm := newJ90VM()
-			tree := algos.BuildSearchTree(vm, dict, r)
-			vm.Reset()
-			tree.Search(queries, rng.New(cfg.Seed^uint64(n)))
-			return vm.Cycles()
-		}
-		vmE := newJ90VM()
-		algos.SearchEREW(vmE, dict, queries, 1<<20)
-		t.AddRow(n, cy(256), cy(1), vmE.Cycles())
-	}
-	return t
+			sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16}
+			if cfg.Quick {
+				sizes = []int{1 << 8, 1 << 10}
+			}
+			var pts []Point
+			for _, n := range sizes {
+				n := n
+				queries := make([]int64, n)
+				for i := range queries {
+					queries[i] = int64(g.Intn(1 << 20))
+				}
+				pts = append(pts, newPoint(fmt.Sprintf("n=%d", n), func(_ context.Context, cfg Config) (tableRows, error) {
+					cy := func(r int) float64 {
+						vm := newJ90VM()
+						tree := algos.BuildSearchTree(vm, dict, r)
+						vm.Reset()
+						tree.Search(queries, rng.New(cfg.Seed^uint64(n)))
+						return vm.Cycles()
+					}
+					vmE := newJ90VM()
+					algos.SearchEREW(vmE, dict, queries, 1<<20)
+					return oneRow(n, cy(256), cy(1), vmE.Cycles()), nil
+				}))
+			}
+			return pts
+		})
 }
 
 func sortInt64s(xs []int64) {
@@ -64,74 +80,108 @@ func sortInt64s(xs []int64) {
 	}
 }
 
-// F11 reproduces Figure 11: the QRQW dart-throwing random permutation
-// against the EREW radix-sort permutation across problem sizes.
-func F11(cfg Config) *tablefmt.Table {
-	t := tablefmt.New("F11: random permutation generation (J90, cycles)",
-		"n", "QRQW darts", "rounds", "darts contention", "EREW radix sort", "EREW/QRQW")
-	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
-	if cfg.Quick {
-		sizes = []int{1 << 8, 1 << 10, 1 << 12}
-	}
-	for _, n := range sizes {
-		vmQ := newJ90VM()
-		q := algos.RandomPermuteQRQW(vmQ, n, rng.New(cfg.Seed^uint64(n)))
-		vmE := newJ90VM()
-		algos.RandomPermuteEREW(vmE, n, 40, rng.New(cfg.Seed^uint64(n)))
-		t.AddRow(n, vmQ.Cycles(), q.Rounds, q.MaxContention, vmE.Cycles(),
-			vmE.Cycles()/vmQ.Cycles())
-	}
-	return t
+// expF11 reproduces Figure 11: the QRQW dart-throwing random permutation
+// against the EREW radix-sort permutation across problem sizes. Every
+// input reseeds from cfg.Seed^n, so points are independent.
+func expF11() Experiment {
+	return sweep("F11", "Random permutation: QRQW darts vs EREW radix sort",
+		func(Config) *tablefmt.Table {
+			return tablefmt.New("F11: random permutation generation (J90, cycles)",
+				"n", "QRQW darts", "rounds", "darts contention", "EREW radix sort", "EREW/QRQW")
+		},
+		func(cfg Config) []Point {
+			sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+			if cfg.Quick {
+				sizes = []int{1 << 8, 1 << 10, 1 << 12}
+			}
+			var pts []Point
+			for _, n := range sizes {
+				n := n
+				pts = append(pts, newPoint(fmt.Sprintf("n=%d", n), func(_ context.Context, cfg Config) (tableRows, error) {
+					vmQ := newJ90VM()
+					q := algos.RandomPermuteQRQW(vmQ, n, rng.New(cfg.Seed^uint64(n)))
+					vmE := newJ90VM()
+					algos.RandomPermuteEREW(vmE, n, 40, rng.New(cfg.Seed^uint64(n)))
+					return oneRow(n, vmQ.Cycles(), q.Rounds, q.MaxContention, vmE.Cycles(),
+						vmE.Cycles()/vmQ.Cycles()), nil
+				}))
+			}
+			return pts
+		})
 }
 
-// F12 reproduces Figure 12: sparse matrix–vector multiply time as a
+// expF12 reproduces Figure 12: sparse matrix–vector multiply time as a
 // function of the dense column length, with BSP and (d,x)-BSP predictions
-// of the gather superstep alongside the full measured cost.
-func F12(cfg Config) *tablefmt.Table {
-	rows := cfg.N
-	nnzPerRow := 4
-	t := tablefmt.New(fmt.Sprintf("F12: SpMV, %d rows x %d nnz/row (J90, cycles)", rows, nnzPerRow),
-		"dense column len", "total (vm)", "gather (d,x)-BSP", "gather BSP", "gather contention")
-	lens := []int{1, 16, 256, 4096, rows}
-	if cfg.Quick {
-		lens = []int{1, 64, rows}
-	}
-	g := rng.New(cfg.Seed)
-	x := make([]int64, 1024)
-	for i := range x {
-		x[i] = int64(g.Intn(100))
-	}
-	for _, dl := range lens {
-		a := algos.RandomCSR(rows, len(x), nnzPerRow, dl, g.Split())
-		vm := newJ90VM()
-		res := algos.SpMV(vm, a, x)
-		t.AddRow(dl, vm.Cycles(), res.PredictedDXBSP, res.PredictedBSP, res.GatherContention)
-	}
-	return t
+// of the gather superstep alongside the full measured cost. The dense
+// vector and the per-length matrix generators come from one shared
+// stream, split off in sweep order.
+func expF12() Experiment {
+	const nnzPerRow = 4
+	return sweep("F12", "Sparse matrix-vector multiply vs dense column length",
+		func(cfg Config) *tablefmt.Table {
+			return tablefmt.New(fmt.Sprintf("F12: SpMV, %d rows x %d nnz/row (J90, cycles)", cfg.N, nnzPerRow),
+				"dense column len", "total (vm)", "gather (d,x)-BSP", "gather BSP", "gather contention")
+		},
+		func(cfg Config) []Point {
+			rows := cfg.N
+			lens := []int{1, 16, 256, 4096, rows}
+			if cfg.Quick {
+				lens = []int{1, 64, rows}
+			}
+			g := rng.New(cfg.Seed)
+			x := make([]int64, 1024)
+			for i := range x {
+				x[i] = int64(g.Intn(100))
+			}
+			var pts []Point
+			for _, dl := range lens {
+				dl := dl
+				sub := g.Split()
+				pts = append(pts, newPoint(fmt.Sprintf("len=%d", dl), func(context.Context, Config) (tableRows, error) {
+					a := algos.RandomCSR(rows, len(x), nnzPerRow, dl, sub.Clone())
+					vm := newJ90VM()
+					res := algos.SpMV(vm, a, x)
+					return oneRow(dl, vm.Cycles(), res.PredictedDXBSP, res.PredictedBSP, res.GatherContention), nil
+				}))
+			}
+			return pts
+		})
 }
 
-// F13 reproduces the connected-components study: per-phase cycles and
+// expF13 reproduces the connected-components study: per-phase cycles and
 // contention for three graph families with very different contention
-// structure.
-func F13(cfg Config) *tablefmt.Table {
-	n := cfg.N / 4
-	t := tablefmt.New(fmt.Sprintf("F13: connected components phases (J90, n=%d vertices)", n),
-		"graph", "rounds", "phase", "supersteps", "cycles", "max contention")
-	graphs := []struct {
-		name string
-		g    *algos.Graph
-	}{
-		{"random m=2n", algos.RandomGraph(n, 2*n, rng.New(cfg.Seed))},
-		{"star", algos.StarGraph(n)},
-		{"path", algos.PathGraph(n)},
-	}
-	for _, gr := range graphs {
-		vm := newJ90VM()
-		res := algos.ConnectedComponents(vm, gr.g, rng.New(cfg.Seed^0x99))
-		for _, phase := range []string{"hook", "shortcut", "contract"} {
-			st := res.Phases[phase]
-			t.AddRow(gr.name, res.Rounds, phase, st.Supersteps, st.Cycles, st.MaxContention)
-		}
-	}
-	return t
+// structure. One point per graph family; each builds its own graph from a
+// fresh generator.
+func expF13() Experiment {
+	return sweep("F13", "Connected components: per-phase contention",
+		func(cfg Config) *tablefmt.Table {
+			return tablefmt.New(fmt.Sprintf("F13: connected components phases (J90, n=%d vertices)", cfg.N/4),
+				"graph", "rounds", "phase", "supersteps", "cycles", "max contention")
+		},
+		func(cfg Config) []Point {
+			n := cfg.N / 4
+			graphs := []struct {
+				name string
+				mk   func() *algos.Graph
+			}{
+				{"random m=2n", func() *algos.Graph { return algos.RandomGraph(n, 2*n, rng.New(cfg.Seed)) }},
+				{"star", func() *algos.Graph { return algos.StarGraph(n) }},
+				{"path", func() *algos.Graph { return algos.PathGraph(n) }},
+			}
+			var pts []Point
+			for _, gr := range graphs {
+				gr := gr
+				pts = append(pts, newPoint(gr.name, func(_ context.Context, cfg Config) (tableRows, error) {
+					vm := newJ90VM()
+					res := algos.ConnectedComponents(vm, gr.mk(), rng.New(cfg.Seed^0x99))
+					var rows tableRows
+					for _, phase := range []string{"hook", "shortcut", "contract"} {
+						st := res.Phases[phase]
+						rows = append(rows, []interface{}{gr.name, res.Rounds, phase, st.Supersteps, st.Cycles, st.MaxContention})
+					}
+					return rows, nil
+				}))
+			}
+			return pts
+		})
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"dxbsp/internal/core"
@@ -19,56 +20,76 @@ func emulationBankMap(banks int, seed uint64) core.BankMap {
 	return hashfn.Map{F: hashfn.NewLinear(hashfn.Log2Banks(banks), rng.New(seed))}
 }
 
-// F8 sweeps the expansion factor x at fixed bank delay d >= x and compares
-// the measured emulation work overhead against the inevitable d/x factor
-// of Theorem 5.1.
-func F8(cfg Config) *tablefmt.Table {
+// expF8 sweeps the expansion factor x at fixed bank delay d >= x and
+// compares the measured emulation work overhead against the inevitable d/x
+// factor of Theorem 5.1. One point per x; every input is reseeded from
+// cfg.Seed, so points are independent.
+func expF8() Experiment {
 	const d = 16.0
-	p := 8
-	v := cfg.N / 2
-	steps := 4
-	if cfg.Quick {
-		steps = 2
-	}
-	t := tablefmt.New(fmt.Sprintf("F8: QRQW emulation, x <= d (d=%g, p=%d, v=%d)", d, p, v),
-		"x", "work overhead (meas)", "d/x bound", "slowdown", "work-optimal slowdown v/p")
-	for _, x := range []int{1, 2, 4, 8, 16} {
-		m := core.Machine{Name: "emu", Procs: p, Banks: p * x, D: d, G: 1, L: 64}
-		prog := qrqw.RandomProgram(v, steps, 1<<34, rng.New(cfg.Seed))
-		res, err := qrqw.Emulate(prog, m, emulationBankMap(m.Banks, cfg.Seed^7), qrqw.Analytic)
-		if err != nil {
-			panic(err)
-		}
-		t.AddRow(x, res.WorkOverhead(), qrqw.InevitableWorkOverhead(m),
-			res.Slowdown(), float64(v)/float64(p))
-	}
-	return t
+	return sweep("F8", "QRQW emulation overhead for x <= d",
+		func(cfg Config) *tablefmt.Table {
+			return tablefmt.New(fmt.Sprintf("F8: QRQW emulation, x <= d (d=%g, p=%d, v=%d)", d, 8, cfg.N/2),
+				"x", "work overhead (meas)", "d/x bound", "slowdown", "work-optimal slowdown v/p")
+		},
+		func(cfg Config) []Point {
+			var pts []Point
+			for _, x := range []int{1, 2, 4, 8, 16} {
+				x := x
+				pts = append(pts, newPoint(fmt.Sprintf("x=%d", x), func(_ context.Context, cfg Config) (tableRows, error) {
+					p := 8
+					v := cfg.N / 2
+					steps := 4
+					if cfg.Quick {
+						steps = 2
+					}
+					m := core.Machine{Name: "emu", Procs: p, Banks: p * x, D: d, G: 1, L: 64}
+					prog := qrqw.RandomProgram(v, steps, 1<<34, rng.New(cfg.Seed))
+					res, err := qrqw.Emulate(prog, m, emulationBankMap(m.Banks, cfg.Seed^7), qrqw.Analytic)
+					if err != nil {
+						return nil, err
+					}
+					return oneRow(x, res.WorkOverhead(), qrqw.InevitableWorkOverhead(m),
+						res.Slowdown(), float64(v)/float64(p)), nil
+				}))
+			}
+			return pts
+		})
 }
 
-// F9 sweeps the bank delay d at fixed large expansion x >= d. The measured
-// slowdown stays near the work-optimal v/p — expansion compensates for
-// delay — while the theoretical slackness required for work preservation
-// (the Raghavan–Spencer condition) grows nonlinearly as d approaches x.
-func F9(cfg Config) *tablefmt.Table {
+// expF9 sweeps the bank delay d at fixed large expansion x >= d. The
+// measured slowdown stays near the work-optimal v/p — expansion
+// compensates for delay — while the theoretical slackness required for
+// work preservation (the Raghavan–Spencer condition) grows nonlinearly as
+// d approaches x.
+func expF9() Experiment {
 	const x = 64
-	p := 8
-	v := cfg.N / 2
-	steps := 4
-	if cfg.Quick {
-		steps = 2
-	}
-	alpha := 2.0
-	t := tablefmt.New(fmt.Sprintf("F9: QRQW emulation, x >= d (x=%d, p=%d, v=%d, alpha=%g)", x, p, v, alpha),
-		"d", "slowdown (meas)", "v/p", "work overhead", "min slackness (Thm 5.2)")
-	for _, d := range []float64{2, 4, 8, 16, 32, 64} {
-		m := core.Machine{Name: "emu", Procs: p, Banks: p * x, D: d, G: 1, L: 64}
-		prog := qrqw.RandomProgram(v, steps, 1<<34, rng.New(cfg.Seed))
-		res, err := qrqw.Emulate(prog, m, emulationBankMap(m.Banks, cfg.Seed^11), qrqw.Analytic)
-		if err != nil {
-			panic(err)
-		}
-		t.AddRow(d, res.Slowdown(), float64(v)/float64(p), res.WorkOverhead(),
-			qrqw.MinSlacknessWorkPreserving(m, alpha))
-	}
-	return t
+	const alpha = 2.0
+	return sweep("F9", "QRQW emulation slowdown for x >= d",
+		func(cfg Config) *tablefmt.Table {
+			return tablefmt.New(fmt.Sprintf("F9: QRQW emulation, x >= d (x=%d, p=%d, v=%d, alpha=%g)", x, 8, cfg.N/2, alpha),
+				"d", "slowdown (meas)", "v/p", "work overhead", "min slackness (Thm 5.2)")
+		},
+		func(cfg Config) []Point {
+			var pts []Point
+			for _, d := range []float64{2, 4, 8, 16, 32, 64} {
+				d := d
+				pts = append(pts, newPoint(fmt.Sprintf("d=%g", d), func(_ context.Context, cfg Config) (tableRows, error) {
+					p := 8
+					v := cfg.N / 2
+					steps := 4
+					if cfg.Quick {
+						steps = 2
+					}
+					m := core.Machine{Name: "emu", Procs: p, Banks: p * x, D: d, G: 1, L: 64}
+					prog := qrqw.RandomProgram(v, steps, 1<<34, rng.New(cfg.Seed))
+					res, err := qrqw.Emulate(prog, m, emulationBankMap(m.Banks, cfg.Seed^11), qrqw.Analytic)
+					if err != nil {
+						return nil, err
+					}
+					return oneRow(d, res.Slowdown(), float64(v)/float64(p), res.WorkOverhead(),
+						qrqw.MinSlacknessWorkPreserving(m, alpha)), nil
+				}))
+			}
+			return pts
+		})
 }

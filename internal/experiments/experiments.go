@@ -4,19 +4,33 @@
 // figures (F1–F5), the expansion and random-mapping studies (F6–F7), the
 // QRQW emulation studies (F8–F9), and the algorithm studies (F10–F13).
 //
-// Each experiment is a pure function from a Config to a renderable result,
-// shared by the cmd/dxbench harness and the repository's testing.B
-// benchmarks. DESIGN.md maps each experiment ID to the paper's figure or
-// table and states the shape it is expected to reproduce; EXPERIMENTS.md
-// records the outcomes.
+// Each experiment is decomposed into three pure stages so a scheduler can
+// parallelize inside an experiment, not just across experiments:
+//
+//   - Points(cfg) enumerates the independent units of the sweep. Any state
+//     that the old serial loops threaded through a shared RNG is drawn here,
+//     in the original order, so the decomposition is value-identical to the
+//     serial code.
+//   - RunPoint(ctx, cfg, p) executes one unit. Points never communicate, so
+//     they can run in any order, on any number of goroutines.
+//   - Assemble(cfg, results) combines the results — ordered by Point.Index,
+//     not completion order — into the Renderable, which makes output
+//     byte-identical regardless of scheduling.
+//
+// Run stitches the three together serially for tests and benchmarks;
+// internal/runner fans RunPoint out over a worker pool and memoizes
+// simulator calls made through Config.RunSim. DESIGN.md maps each
+// experiment ID to the paper's figure or table and states the shape it is
+// expected to reproduce; EXPERIMENTS.md records the outcomes.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"sort"
 
 	"dxbsp/internal/core"
+	"dxbsp/internal/sim"
 	"dxbsp/internal/tablefmt"
 )
 
@@ -28,6 +42,26 @@ type Config struct {
 	Seed uint64
 	// Quick shrinks sweeps for use in unit tests.
 	Quick bool
+	// Sim, when non-nil, handles every simulator invocation made through
+	// RunSim instead of calling sim.Run directly. The dxbench runner
+	// installs a memoizing implementation here so identical simulations
+	// shared between sweep points — and between experiments — execute once.
+	Sim SimRunner
+}
+
+// SimRunner abstracts sim.Run so a scheduler can interpose a cache.
+// Implementations must be safe for concurrent use.
+type SimRunner interface {
+	RunSim(cfg sim.Config, pt core.Pattern) (sim.Result, error)
+}
+
+// RunSim routes one simulation through the configured SimRunner, or
+// directly to sim.Run when none is installed.
+func (c Config) RunSim(sc sim.Config, pt core.Pattern) (sim.Result, error) {
+	if c.Sim != nil {
+		return c.Sim.RunSim(sc, pt)
+	}
+	return sim.Run(sc, pt)
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -40,50 +74,157 @@ func QuickConfig() Config {
 	return Config{N: 1 << 12, Seed: 0xd5bcf95, Quick: true}
 }
 
-// Renderable is anything an experiment can produce.
-type Renderable interface {
-	Render(w io.Writer)
+// Renderable is anything an experiment can produce; it is an alias for
+// tablefmt.Renderer so experiment results, tables and series satisfy the
+// output interfaces uniformly.
+type Renderable = tablefmt.Renderer
+
+// Point is one independently executable unit of an experiment's sweep.
+// Points carry their precomputed inputs (drawn deterministically by
+// Points), so executing them in any order yields identical results.
+type Point struct {
+	// Index is the point's position in the sweep; Assemble orders results
+	// by it.
+	Index int
+	// Label names the point for progress reporting and error messages.
+	Label string
+
+	run func(context.Context, Config) (interface{}, error)
 }
 
-// Experiment couples an ID with its regenerator.
+// PointResult is the outcome of one point.
+type PointResult struct {
+	Index int
+	// Value is the experiment-specific payload. Table-shaped sweeps store
+	// the rows ([][]interface{}) the point contributes.
+	Value interface{}
+}
+
+// Experiment couples an ID with its three-stage regenerator.
 type Experiment struct {
 	ID    string
 	Title string
-	Run   func(Config) Renderable
+	// Points enumerates the sweep. It is deterministic in cfg and performs
+	// all shared-RNG input generation.
+	Points func(Config) []Point
+	// RunPoint executes one point. Implementations must not mutate shared
+	// state: concurrent invocations on distinct points must be safe.
+	RunPoint func(context.Context, Config, Point) (PointResult, error)
+	// Assemble combines the point results, ordered by Index, into the
+	// final result.
+	Assemble func(Config, []PointResult) Renderable
+}
+
+// Run executes the experiment serially: Points, then RunPoint in sweep
+// order, then Assemble. The parallel path in internal/runner produces
+// byte-identical output.
+func (e Experiment) Run(ctx context.Context, cfg Config) (Renderable, error) {
+	pts := e.Points(cfg)
+	results := make([]PointResult, len(pts))
+	for i, p := range pts {
+		r, err := e.RunPoint(ctx, cfg, p)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", e.ID, p.Label, err)
+		}
+		results[i] = r
+	}
+	return e.Assemble(cfg, results), nil
+}
+
+// MustRun is Run with a background context, panicking on error — the
+// convenience used by tests and benchmarks.
+func (e Experiment) MustRun(cfg Config) Renderable {
+	r, err := e.Run(context.Background(), cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %s: %v", e.ID, err))
+	}
+	return r
+}
+
+// tableRows is the Value stored by sweep points: the rows the point
+// contributes to the experiment's table, in order.
+type tableRows [][]interface{}
+
+// oneRow wraps a single row as a point's tableRows.
+func oneRow(cells ...interface{}) tableRows { return tableRows{cells} }
+
+// newPoint builds a sweep point from its label and body. Index is assigned
+// by the sweep builder.
+func newPoint(label string, run func(context.Context, Config) (tableRows, error)) Point {
+	return Point{Label: label, run: func(ctx context.Context, cfg Config) (interface{}, error) {
+		return run(ctx, cfg)
+	}}
+}
+
+// runPoint is the shared RunPoint implementation: it honors cancellation
+// and tags the result with the point's index.
+func runPoint(ctx context.Context, cfg Config, p Point) (PointResult, error) {
+	if err := ctx.Err(); err != nil {
+		return PointResult{}, err
+	}
+	v, err := p.run(ctx, cfg)
+	if err != nil {
+		return PointResult{}, err
+	}
+	return PointResult{Index: p.Index, Value: v}, nil
+}
+
+// sweep builds a table-shaped Experiment: mkTable returns the empty titled
+// table, points enumerates the sweep, and Assemble appends each point's
+// rows in sweep order.
+func sweep(id, title string, mkTable func(Config) *tablefmt.Table, points func(Config) []Point) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Points: func(cfg Config) []Point {
+			pts := points(cfg)
+			for i := range pts {
+				pts[i].Index = i
+			}
+			return pts
+		},
+		RunPoint: runPoint,
+		Assemble: func(cfg Config, results []PointResult) Renderable {
+			t := mkTable(cfg)
+			for _, r := range results {
+				rows, _ := r.Value.(tableRows)
+				for _, row := range rows {
+					t.AddRow(row...)
+				}
+			}
+			return t
+		},
+	}
+}
+
+// single wraps an indivisible experiment (trace captures, whole-algorithm
+// studies) as a one-point Experiment.
+func single(id, title string, run func(Config) (Renderable, error)) Experiment {
+	return Experiment{
+		ID:    id,
+		Title: title,
+		Points: func(Config) []Point {
+			return []Point{{Label: "all", run: func(_ context.Context, cfg Config) (interface{}, error) {
+				return run(cfg)
+			}}}
+		},
+		RunPoint: runPoint,
+		Assemble: func(_ Config, results []PointResult) Renderable {
+			return results[0].Value.(Renderable)
+		},
+	}
 }
 
 // All returns the experiment registry in presentation order.
 func All() []Experiment {
 	return []Experiment{
-		{"T1", "Machines with more banks than processors", func(c Config) Renderable { return T1(c) }},
-		{"T2", "(d,x)-BSP parameters measured on the simulated machines", func(c Config) Renderable { return T2(c) }},
-		{"T3", "Hash function evaluation cost", func(c Config) Renderable { return T3(c) }},
-		{"F1", "Predicted vs measured time, connected-components patterns", func(c Config) Renderable { return F1(c) }},
-		{"F2", "Experiment 1: scatter time vs location contention", func(c Config) Renderable { return F2(c) }},
-		{"F3", "Experiment 2: scatter time vs random-pattern range", func(c Config) Renderable { return F3(c) }},
-		{"F4", "Experiment 3: scatter time on entropy distributions", func(c Config) Renderable { return F4(c) }},
-		{"F5", "Multiprocessor versions (a)/(b)/(c): section congestion", func(c Config) Renderable { return F5(c) }},
-		{"F6", "Effect of the expansion factor", func(c Config) Renderable { return F6(c) }},
-		{"F7", "Module-map contention ratio vs expansion", func(c Config) Renderable { return F7(c) }},
-		{"F8", "QRQW emulation overhead for x <= d", func(c Config) Renderable { return F8(c) }},
-		{"F9", "QRQW emulation slowdown for x >= d", func(c Config) Renderable { return F9(c) }},
-		{"F10", "Binary search: QRQW replicated tree vs EREW sort", func(c Config) Renderable { return F10(c) }},
-		{"F11", "Random permutation: QRQW darts vs EREW radix sort", func(c Config) Renderable { return F11(c) }},
-		{"F12", "Sparse matrix-vector multiply vs dense column length", func(c Config) Renderable { return F12(c) }},
-		{"F13", "Connected components: per-phase contention", func(c Config) Renderable { return F13(c) }},
-		{"X1", "Extension: model validation across the whole catalogue", func(c Config) Renderable { return X1(c) }},
-		{"X2", "Extension: cached-DRAM banks [HS93] vs contention", func(c Config) Renderable { return X2(c) }},
-		{"X3", "Extension: multiprefix [She93] under key skew", func(c Config) Renderable { return X3(c) }},
-		{"X4", "Extension: Wyllie list ranking [RM94] contention pile-up", func(c Config) Renderable { return X4(c) }},
-		{"X5", "Extension: (d,x)-LogP vs LogP predictions", func(c Config) Renderable { return X5(c) }},
-		{"X6", "Extension: merge crossover vs key width", func(c Config) Renderable { return X6(c) }},
-		{"X7", "Extension: naive vs replicated broadcast", func(c Config) Renderable { return X7(c) }},
-		{"X8", "Extension: Zipf reference distributions", func(c Config) Renderable { return X8(c) }},
-		{"X9", "Extension: BFS across graph families", func(c Config) Renderable { return X9(c) }},
-		{"X10", "Extension: hash cost via the vector pipeline model", func(c Config) Renderable { return X10(c) }},
-		{"X11", "Extension: algorithm trace re-emulated on other machines", func(c Config) Renderable { return X11(c) }},
-		{"X12", "Extension: EREW vs QRQW emulation across bank delays", func(c Config) Renderable { return X12(c) }},
-		{"X13", "Extension: latency hiding vs issue window (queueing model)", func(c Config) Renderable { return X13(c) }},
+		expT1(), expT2(), expT3(),
+		expF1(), expF2(), expF3(), expF4(), expF5(),
+		expF6(), expF7(),
+		expF8(), expF9(),
+		expF10(), expF11(), expF12(), expF13(),
+		expX1(), expX2(), expX3(), expX4(), expX5(), expX6(), expX7(),
+		expX8(), expX9(), expX10(), expX11(), expX12(), expX13(),
 	}
 }
 
@@ -97,17 +238,19 @@ func Lookup(id string) (Experiment, bool) {
 	return Experiment{}, false
 }
 
-// T1 renders the machine catalogue: the Table 1 premise that real machines
-// provide many more banks than processors, with bank delays above the
-// clock.
-func T1(Config) *tablefmt.Table {
-	t := tablefmt.New("T1: high-bandwidth machines (representative figures)",
-		"machine", "procs", "banks", "expansion x", "bank delay d", "d/x", "bandwidth matched")
-	ms := core.Catalogue()
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
-	for _, m := range ms {
-		t.AddRow(m.Name, m.Procs, m.Banks, m.Expansion(), m.D,
-			m.EffectiveBankGap(), fmt.Sprintf("%v", m.BandwidthMatched()))
-	}
-	return t
+// expT1 renders the machine catalogue: the Table 1 premise that real
+// machines provide many more banks than processors, with bank delays above
+// the clock.
+func expT1() Experiment {
+	return single("T1", "Machines with more banks than processors", func(Config) (Renderable, error) {
+		t := tablefmt.New("T1: high-bandwidth machines (representative figures)",
+			"machine", "procs", "banks", "expansion x", "bank delay d", "d/x", "bandwidth matched")
+		ms := core.Catalogue()
+		sort.Slice(ms, func(i, j int) bool { return ms[i].Name < ms[j].Name })
+		for _, m := range ms {
+			t.AddRow(m.Name, m.Procs, m.Banks, m.Expansion(), m.D,
+				m.EffectiveBankGap(), fmt.Sprintf("%v", m.BandwidthMatched()))
+		}
+		return t, nil
+	})
 }

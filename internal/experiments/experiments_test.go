@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -14,6 +15,15 @@ func render(t *testing.T, r Renderable) string {
 	return b.String()
 }
 
+func mustRunID(t *testing.T, id string, cfg Config) Renderable {
+	t.Helper()
+	e, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("unknown experiment %s", id)
+	}
+	return e.MustRun(cfg)
+}
+
 func TestRegistryComplete(t *testing.T) {
 	ids := map[string]bool{}
 	for _, e := range All() {
@@ -21,7 +31,7 @@ func TestRegistryComplete(t *testing.T) {
 			t.Errorf("duplicate experiment %s", e.ID)
 		}
 		ids[e.ID] = true
-		if e.Title == "" || e.Run == nil {
+		if e.Title == "" || e.Points == nil || e.RunPoint == nil || e.Assemble == nil {
 			t.Errorf("experiment %s incomplete", e.ID)
 		}
 	}
@@ -49,19 +59,61 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			out := render(t, e.Run(cfg))
+			out := render(t, e.MustRun(cfg))
 			if len(out) < 40 {
 				t.Errorf("%s output suspiciously short:\n%s", e.ID, out)
 			}
-			if tbl, ok := e.Run(cfg).(*tablefmt.Table); ok && tbl.NumRows() == 0 {
+			if tbl, ok := e.MustRun(cfg).(*tablefmt.Table); ok && tbl.NumRows() == 0 {
 				t.Errorf("%s produced an empty table", e.ID)
 			}
 		})
 	}
 }
 
+// Running an experiment's points in reverse order must assemble the same
+// output as sweep order: the contract the parallel runner depends on.
+// T3 is excluded because one of its columns is a wall-clock measurement.
+func TestPointOrderIndependence(t *testing.T) {
+	cfg := QuickConfig()
+	ctx := context.Background()
+	for _, e := range All() {
+		if e.ID == "T3" {
+			continue
+		}
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			want := render(t, e.MustRun(cfg))
+
+			pts := e.Points(cfg)
+			results := make([]PointResult, len(pts))
+			for i := len(pts) - 1; i >= 0; i-- {
+				r, err := e.RunPoint(ctx, cfg, pts[i])
+				if err != nil {
+					t.Fatalf("%s/%s: %v", e.ID, pts[i].Label, err)
+				}
+				results[i] = r
+			}
+			got := render(t, e.Assemble(cfg, results))
+			if got != want {
+				t.Errorf("%s: reverse-order run differs from sweep order\n--- sweep ---\n%s\n--- reverse ---\n%s",
+					e.ID, want, got)
+			}
+		})
+	}
+}
+
+// A canceled context must stop the run with the context's error.
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	e, _ := Lookup("F2")
+	if _, err := e.Run(ctx, QuickConfig()); err == nil {
+		t.Error("Run with canceled context succeeded")
+	}
+}
+
 func TestT1ShowsExpansion(t *testing.T) {
-	out := render(t, T1(QuickConfig()))
+	out := render(t, mustRunID(t, "T1", QuickConfig()))
 	for _, want := range []string{"Cray C90", "Tera", "expansion"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("T1 missing %q:\n%s", want, out)
@@ -72,31 +124,23 @@ func TestT1ShowsExpansion(t *testing.T) {
 func TestT2CalibrationAccurate(t *testing.T) {
 	// The measured g and d must be close to the configured ones — this is
 	// the "framework is a good predictor" claim in microcosm.
-	tbl := T2(QuickConfig())
-	out := renderTable(tbl)
+	out := render(t, mustRunID(t, "T2", QuickConfig()))
 	if !strings.Contains(out, "J90") || !strings.Contains(out, "C90") {
 		t.Fatalf("T2 missing machines:\n%s", out)
 	}
 }
 
-func renderTable(tbl *tablefmt.Table) string {
-	var b strings.Builder
-	tbl.Render(&b)
-	return b.String()
-}
-
 func TestF2ShapeContentionBound(t *testing.T) {
 	// Structural check on F2's data: it must contain the k=1 row and the
 	// k=n row, and render both machine columns.
-	cfg := QuickConfig()
-	out := renderTable(F2(cfg))
+	out := render(t, mustRunID(t, "F2", QuickConfig()))
 	if !strings.Contains(out, "J90 sim") || !strings.Contains(out, "C90 sim") {
 		t.Errorf("F2 missing machines:\n%s", out)
 	}
 }
 
 func TestF5VersionCIsOffModel(t *testing.T) {
-	out := renderTable(F5(QuickConfig()))
+	out := render(t, mustRunID(t, "F5", QuickConfig()))
 	if !strings.Contains(out, "(a)") || !strings.Contains(out, "(c)") {
 		t.Errorf("F5 missing versions:\n%s", out)
 	}

@@ -165,6 +165,12 @@ func (m Map) Bank(addr uint64) int { return int(m.F.Hash(addr)) }
 // NumBanks implements core.BankMap.
 func (m Map) NumBanks() int { return 1 << m.F.Bits() }
 
+// CacheKey fingerprints the map for result memoization (the runner's
+// simulation cache): two Maps with equal keys map every address to the
+// same bank. The hash families are plain coefficient structs, so the
+// concrete type plus its printed fields identify the function exactly.
+func (m Map) CacheKey() string { return fmt.Sprintf("hashfn.Map{%T%+v}", m.F, m.F) }
+
 // Log2Banks returns m for a power-of-two bank count, panicking otherwise.
 // Hash maps require power-of-two bank counts.
 func Log2Banks(banks int) uint {

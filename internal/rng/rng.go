@@ -60,6 +60,15 @@ func New(seed uint64) *Xoshiro256 {
 	return &g
 }
 
+// Clone returns an independent copy of g: the clone and the original
+// produce the same stream from this point on without affecting each other.
+// Experiment sweep points stash a clone of their input generator so that
+// running the same point twice yields identical results.
+func (g *Xoshiro256) Clone() *Xoshiro256 {
+	c := *g
+	return &c
+}
+
 // Split returns a new generator with a stream independent of g, derived
 // deterministically from g's current state. Splitting then drawing from
 // both generators yields streams that do not overlap in practice.

@@ -211,3 +211,24 @@ func BenchmarkUint64n(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestCloneReplaysStream(t *testing.T) {
+	g := New(42)
+	g.Uint64() // advance off the seed state
+	c := g.Clone()
+	for i := 0; i < 100; i++ {
+		if a, b := g.Uint64(), c.Uint64(); a != b {
+			t.Fatalf("draw %d: original %d, clone %d", i, a, b)
+		}
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	g := New(7)
+	c := g.Clone()
+	g.Uint64() // advancing the original must not move the clone
+	c2 := g.Clone()
+	if a, b := c.Uint64(), c2.Uint64(); a == b {
+		t.Fatalf("clone shares state with original: %d == %d", a, b)
+	}
+}

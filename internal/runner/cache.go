@@ -1,0 +1,156 @@
+package runner
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/sim"
+)
+
+// CacheKeyer is implemented by bank maps that can fingerprint themselves
+// for result memoization. Two maps with equal keys must assign every
+// address to the same bank. Bank maps that do not implement it (and are
+// not the built-in interleave map) make a simulation uncacheable: the
+// cache falls through to sim.Run rather than risk a false hit.
+type CacheKeyer interface {
+	CacheKey() string
+}
+
+// Cache memoizes simulation results by the full content of the request:
+// machine parameters, every sim.Config knob, the bank map fingerprint and
+// a digest of the access pattern. Experiments share baselines (the same
+// pattern simulated on the same machine appears in several sweeps), so a
+// run of the whole suite executes each distinct simulation once.
+//
+// Concurrent requests for the same key are deduplicated: one caller runs
+// the simulation, the rest wait for its result. Cache implements
+// experiments.SimRunner and is safe for concurrent use.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	bypassed atomic.Uint64
+}
+
+type cacheEntry struct {
+	done chan struct{} // closed when res/err are valid
+	res  sim.Result
+	err  error
+}
+
+// NewCache returns an empty simulation cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*cacheEntry)}
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	// Hits counts requests served from a completed or in-flight entry.
+	Hits uint64
+	// Misses counts requests that executed the simulation.
+	Misses uint64
+	// Bypassed counts requests that could not be keyed (unknown bank map
+	// type) and went straight to sim.Run.
+	Bypassed uint64
+}
+
+// HitRate returns hits / (hits + misses), or 0 when the cache is unused.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Bypassed: c.bypassed.Load(),
+	}
+}
+
+// RunSim implements experiments.SimRunner: it serves the result from the
+// cache when an identical simulation has already run (or is running), and
+// executes and stores it otherwise.
+func (c *Cache) RunSim(cfg sim.Config, pt core.Pattern) (sim.Result, error) {
+	key, ok := cacheKey(cfg, pt)
+	if !ok {
+		c.bypassed.Add(1)
+		return sim.Run(cfg, pt)
+	}
+
+	c.mu.Lock()
+	if e, found := c.entries[key]; found {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.done
+		return e.res, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.res, e.err = sim.Run(cfg, pt)
+	close(e.done)
+	return e.res, e.err
+}
+
+// cacheKey fingerprints one simulation request. The config is normalized
+// first so a default-valued knob and its explicit default produce the same
+// key. Returns ok=false when the bank map cannot be fingerprinted.
+func cacheKey(cfg sim.Config, pt core.Pattern) (string, bool) {
+	cfg = cfg.Normalize()
+	bmKey, ok := bankMapKey(cfg.BankMap)
+	if !ok {
+		return "", false
+	}
+	// Machine is all scalar fields, so %+v is a complete fingerprint.
+	return fmt.Sprintf("m=%+v|bm=%s|w=%d|comb=%t|nd=%g|sect=%t|bcl=%d|bhd=%g|brs=%d|pt=%s",
+		cfg.Machine, bmKey,
+		cfg.Window, cfg.Combining, cfg.NetDelay, cfg.UseSections,
+		cfg.BankCacheLines, cfg.BankHitDelay, cfg.BankRowShift,
+		patternDigest(pt)), true
+}
+
+func bankMapKey(bm core.BankMap) (string, bool) {
+	switch m := bm.(type) {
+	case nil:
+		return "nil", true
+	case core.InterleaveMap:
+		return fmt.Sprintf("interleave:%d", m.Banks), true
+	case CacheKeyer:
+		return m.CacheKey(), true
+	default:
+		return "", false
+	}
+}
+
+// patternDigest hashes the full address content of a pattern (FNV-1a 64
+// over every address, with per-processor framing) plus its shape, so two
+// patterns collide only if their per-processor address streams agree.
+func patternDigest(pt core.Pattern) string {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(pt.PerProc)))
+	h.Write(buf[:])
+	n := 0
+	for _, addrs := range pt.PerProc {
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(addrs)))
+		h.Write(buf[:])
+		for _, a := range addrs {
+			binary.LittleEndian.PutUint64(buf[:], a)
+			h.Write(buf[:])
+		}
+		n += len(addrs)
+	}
+	return fmt.Sprintf("%016x:%d", h.Sum64(), n)
+}

@@ -1,0 +1,64 @@
+package runner
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one record of the machine-readable run log: experiment and
+// point lifecycle, with wall-clock durations in milliseconds. Events are
+// emitted in completion order, which under parallelism is not sweep order;
+// the rendered tables, not the event log, carry the determinism guarantee.
+type Event struct {
+	// Type is "experiment_start", "point_done", "experiment_done" or
+	// "run_done".
+	Type string `json:"type"`
+	// ElapsedMS is the time since the log was opened.
+	ElapsedMS float64 `json:"elapsed_ms"`
+
+	Experiment string  `json:"experiment,omitempty"`
+	Point      string  `json:"point,omitempty"`
+	Index      *int    `json:"index,omitempty"`
+	Points     int     `json:"points,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+
+	Workers     int     `json:"workers,omitempty"`
+	Utilization float64 `json:"utilization,omitempty"`
+
+	CacheHits     uint64 `json:"cache_hits,omitempty"`
+	CacheMisses   uint64 `json:"cache_misses,omitempty"`
+	CacheBypassed uint64 `json:"cache_bypassed,omitempty"`
+}
+
+// EventLog serializes events as JSON lines to a writer. Safe for
+// concurrent use; a nil *EventLog discards everything.
+type EventLog struct {
+	mu    sync.Mutex
+	w     io.Writer
+	enc   *json.Encoder
+	start time.Time
+}
+
+// NewEventLog opens a JSON-lines event log on w.
+func NewEventLog(w io.Writer) *EventLog {
+	return &EventLog{w: w, enc: json.NewEncoder(w), start: time.Now()}
+}
+
+// Emit appends one event to the log, stamping its elapsed time. Callers
+// that drive RunExperiment directly (cmd/dxbench) use it to record
+// run-level events; a nil receiver discards the event.
+func (l *EventLog) Emit(ev Event) { l.emit(ev) }
+
+func (l *EventLog) emit(ev Event) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	ev.ElapsedMS = float64(time.Since(l.start)) / float64(time.Millisecond)
+	// Encoding a fixed struct cannot fail; a write error on the log sink
+	// must not abort the run, so it is deliberately dropped.
+	_ = l.enc.Encode(ev)
+}

@@ -1,0 +1,212 @@
+// Package runner executes experiments over a worker pool with memoized
+// simulation, preserving the serial path's output byte for byte.
+//
+// The engine exploits the three-stage experiment decomposition
+// (Points/RunPoint/Assemble): Points runs serially — it performs the
+// shared-RNG input generation and so must see the draws in sweep order —
+// then the points fan out across workers, and Assemble consumes results
+// ordered by point index, not completion order. Determinism therefore
+// holds for any worker count.
+//
+// A Cache installed on the Runner memoizes every simulation issued through
+// experiments.Config.RunSim, keyed by the full request content (machine,
+// config knobs, bank map fingerprint, pattern digest), so baselines shared
+// between sweeps — and between experiments — execute once per run.
+package runner
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"dxbsp/internal/experiments"
+)
+
+// Runner executes experiments. The zero value runs serially with no
+// cache, no progress and no event log.
+type Runner struct {
+	// Parallel is the worker count for point execution; values < 1 mean
+	// GOMAXPROCS.
+	Parallel int
+	// Cache, when non-nil, memoizes simulations across points and across
+	// experiments for the lifetime of the Runner.
+	Cache *Cache
+	// Events, when non-nil, receives a JSON event per lifecycle step.
+	Events *EventLog
+	// Progress, when non-nil, receives human-readable one-line updates as
+	// points complete (typically stderr, so stdout stays parseable).
+	Progress io.Writer
+}
+
+// Stats describes one experiment's execution.
+type Stats struct {
+	// Points is the number of sweep points executed.
+	Points int
+	// Workers is the number of goroutines the points were spread over.
+	Workers int
+	// Wall is the experiment's total wall time (Points + RunPoint fan-out
+	// + Assemble).
+	Wall time.Duration
+	// Busy is point execution time summed over workers; Busy/(Wall*Workers)
+	// is the pool utilization.
+	Busy time.Duration
+}
+
+// Utilization returns the fraction of the pool's wall-time capacity spent
+// executing points: 1.0 means every worker was busy for the whole run.
+func (s Stats) Utilization() float64 {
+	if s.Wall <= 0 || s.Workers <= 0 {
+		return 0
+	}
+	u := float64(s.Busy) / (float64(s.Wall) * float64(s.Workers))
+	if u > 1 {
+		u = 1
+	}
+	return u
+}
+
+// Result couples an experiment's rendered output with its execution stats.
+type Result struct {
+	ID     string
+	Title  string
+	Output experiments.Renderable
+	Stats  Stats
+}
+
+func (r *Runner) workers() int {
+	if r.Parallel >= 1 {
+		return r.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// RunExperiment executes one experiment: Points serially, RunPoint across
+// the pool, Assemble on the index-ordered results. The output is
+// byte-identical to experiments.Experiment.Run for every worker count.
+func (r *Runner) RunExperiment(ctx context.Context, e experiments.Experiment, cfg experiments.Config) (Result, error) {
+	if r.Cache != nil && cfg.Sim == nil {
+		cfg.Sim = r.Cache
+	}
+	start := time.Now()
+
+	pts := e.Points(cfg)
+	workers := r.workers()
+	if workers > len(pts) {
+		workers = len(pts)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r.Events.emit(Event{Type: "experiment_start", Experiment: e.ID, Points: len(pts), Workers: workers})
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		results  = make([]experiments.PointResult, len(pts))
+		todo     = make(chan int)
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		busy     time.Duration
+		done     int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var localBusy time.Duration
+			for i := range todo {
+				p := pts[i]
+				t0 := time.Now()
+				res, err := e.RunPoint(ctx, cfg, p)
+				d := time.Since(t0)
+				localBusy += d
+				if err != nil {
+					fail(fmt.Errorf("%s/%s: %w", e.ID, p.Label, err))
+					continue
+				}
+				results[i] = res
+				idx := p.Index
+				r.Events.emit(Event{Type: "point_done", Experiment: e.ID, Point: p.Label, Index: &idx,
+					DurationMS: float64(d) / float64(time.Millisecond)})
+				mu.Lock()
+				done++
+				n := done
+				mu.Unlock()
+				if r.Progress != nil {
+					fmt.Fprintf(r.Progress, "[%s] %d/%d %s\n", e.ID, n, len(pts), p.Label)
+				}
+			}
+			mu.Lock()
+			busy += localBusy
+			mu.Unlock()
+		}()
+	}
+dispatch:
+	for i := range pts {
+		select {
+		case todo <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(todo)
+	wg.Wait()
+
+	if firstErr == nil {
+		if err := ctx.Err(); err != nil {
+			firstErr = fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	if firstErr != nil {
+		return Result{}, firstErr
+	}
+
+	out := e.Assemble(cfg, results)
+	st := Stats{Points: len(pts), Workers: workers, Wall: time.Since(start), Busy: busy}
+	r.Events.emit(Event{Type: "experiment_done", Experiment: e.ID, Points: st.Points, Workers: st.Workers,
+		DurationMS: float64(st.Wall) / float64(time.Millisecond), Utilization: st.Utilization()})
+	return Result{ID: e.ID, Title: e.Title, Output: out, Stats: st}, nil
+}
+
+// RunAll executes the experiments in order, stopping at the first error.
+// Each experiment's points run across the pool; the shared Cache carries
+// memoized simulations from one experiment to the next. The final
+// "run_done" event carries the cache totals.
+func (r *Runner) RunAll(ctx context.Context, exps []experiments.Experiment, cfg experiments.Config) ([]Result, error) {
+	out := make([]Result, 0, len(exps))
+	for _, e := range exps {
+		res, err := r.RunExperiment(ctx, e, cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, res)
+	}
+	ev := Event{Type: "run_done", Points: totalPoints(out)}
+	if r.Cache != nil {
+		cs := r.Cache.Stats()
+		ev.CacheHits, ev.CacheMisses, ev.CacheBypassed = cs.Hits, cs.Misses, cs.Bypassed
+	}
+	r.Events.emit(ev)
+	return out, nil
+}
+
+func totalPoints(rs []Result) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Stats.Points
+	}
+	return n
+}

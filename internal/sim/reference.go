@@ -28,17 +28,12 @@ func RunReference(cfg Config, pt core.Pattern) (Result, error) {
 	if m.G != math.Trunc(m.G) || m.D != math.Trunc(m.D) {
 		return Result{}, fmt.Errorf("sim: RunReference needs integral G and D")
 	}
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	netDelay := int(cfg.NetDelay)
-	if cfg.NetDelay == 0 {
-		netDelay = int(m.L / 2)
-	}
 	bm := cfg.BankMap
-	if bm == nil {
-		bm = core.InterleaveMap{Banks: m.Banks}
-	}
-	if bm.NumBanks() != m.Banks {
-		return Result{}, fmt.Errorf("sim: bank map covers %d banks, machine has %d", bm.NumBanks(), m.Banks)
-	}
 
 	type flight struct {
 		bank   int

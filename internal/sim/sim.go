@@ -70,6 +70,66 @@ type Config struct {
 	BankRowShift uint
 }
 
+// ConfigError reports an invalid simulation configuration. It names the
+// offending Config field so callers can distinguish misconfiguration from
+// runtime failures (use errors.As).
+type ConfigError struct {
+	Field  string
+	Reason string
+}
+
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("sim: invalid Config.%s: %s", e.Field, e.Reason)
+}
+
+// Normalize returns a copy of c with the documented defaults applied in one
+// place: an interleaved BankMap over Machine.Banks, NetDelay = Machine.L/2,
+// and (when bank caching is enabled) BankHitDelay = 1 and BankRowShift = 5.
+// Run normalizes internally; callers that fingerprint or compare configs
+// (the runner's memo cache) call Normalize so that a default-valued config
+// and an explicitly-defaulted one are identical.
+func (c Config) Normalize() Config {
+	if c.BankMap == nil {
+		c.BankMap = core.InterleaveMap{Banks: c.Machine.Banks}
+	}
+	if c.NetDelay == 0 {
+		c.NetDelay = c.Machine.L / 2
+	}
+	if c.BankCacheLines > 0 {
+		if c.BankHitDelay == 0 {
+			c.BankHitDelay = 1
+		}
+		if c.BankRowShift == 0 {
+			c.BankRowShift = 5
+		}
+	}
+	return c
+}
+
+// Validate rejects configurations Run cannot execute faithfully. It checks
+// the (normalized) simulator knobs; the machine itself is checked by
+// core.Machine.Validate. Invalid knobs return a *ConfigError rather than
+// being silently clamped.
+func (c Config) Validate() error {
+	switch {
+	case c.Window < 0:
+		return &ConfigError{Field: "Window", Reason: fmt.Sprintf("must be >= 0 (0 = open loop), got %d", c.Window)}
+	case c.NetDelay < 0:
+		return &ConfigError{Field: "NetDelay", Reason: fmt.Sprintf("must be >= 0, got %g", c.NetDelay)}
+	case c.BankCacheLines < 0:
+		return &ConfigError{Field: "BankCacheLines", Reason: fmt.Sprintf("must be >= 0 (0 = uncached), got %d", c.BankCacheLines)}
+	case c.BankCacheLines > 0 && c.BankHitDelay < 0:
+		return &ConfigError{Field: "BankHitDelay", Reason: fmt.Sprintf("must be >= 0, got %g", c.BankHitDelay)}
+	case c.BankCacheLines > 0 && c.BankRowShift >= 64:
+		return &ConfigError{Field: "BankRowShift", Reason: fmt.Sprintf("must be < 64, got %d", c.BankRowShift)}
+	}
+	if c.BankMap != nil && c.BankMap.NumBanks() != c.Machine.Banks {
+		return &ConfigError{Field: "BankMap", Reason: fmt.Sprintf("covers %d banks, machine has %d",
+			c.BankMap.NumBanks(), c.Machine.Banks)}
+	}
+	return nil
+}
+
 // Result reports the outcome of simulating one superstep.
 type Result struct {
 	// Cycles is the completion time of the bulk operation: the cycle at
@@ -205,31 +265,16 @@ func Run(cfg Config, pt core.Pattern) (Result, error) {
 	if err := cfg.Machine.Validate(); err != nil {
 		return Result{}, err
 	}
+	cfg = cfg.Normalize()
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
 	if pt.Procs() > cfg.Machine.Procs {
 		return Result{}, fmt.Errorf("sim: pattern has %d processor streams but machine has %d processors",
 			pt.Procs(), cfg.Machine.Procs)
 	}
-	bm := cfg.BankMap
-	if bm == nil {
-		bm = core.InterleaveMap{Banks: cfg.Machine.Banks}
-	}
-	if bm.NumBanks() != cfg.Machine.Banks {
-		return Result{}, fmt.Errorf("sim: bank map covers %d banks, machine has %d",
-			bm.NumBanks(), cfg.Machine.Banks)
-	}
-	if cfg.NetDelay == 0 {
-		cfg.NetDelay = cfg.Machine.L / 2
-	}
-	if cfg.BankCacheLines > 0 {
-		if cfg.BankHitDelay == 0 {
-			cfg.BankHitDelay = 1
-		}
-		if cfg.BankRowShift == 0 {
-			cfg.BankRowShift = 5
-		}
-	}
 
-	e := &engine{cfg: cfg, bm: bm}
+	e := &engine{cfg: cfg, bm: cfg.BankMap}
 	if cfg.BankCacheLines > 0 {
 		e.bankRows = make([][]uint64, cfg.Machine.Banks)
 	}

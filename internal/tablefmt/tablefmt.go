@@ -9,6 +9,26 @@ import (
 	"strings"
 )
 
+// Renderer is anything that can render itself as fixed-width text. Every
+// experiment result satisfies it; Table and Series are the canonical
+// implementations.
+type Renderer interface {
+	Render(w io.Writer)
+}
+
+// CSVRenderer is a Renderer that can also emit itself as RFC-4180 CSV.
+// Output consumers (cmd/dxbench's -format csv) type-assert against this
+// interface instead of falling back to text silently.
+type CSVRenderer interface {
+	Renderer
+	RenderCSV(w io.Writer)
+}
+
+var (
+	_ CSVRenderer = (*Table)(nil)
+	_ CSVRenderer = (*Series)(nil)
+)
+
 // Table accumulates rows and renders them with aligned columns.
 type Table struct {
 	Title   string
