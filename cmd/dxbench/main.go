@@ -13,12 +13,23 @@
 //	dxbench -progress        # per-point progress on stderr
 //	dxbench -timing          # per-experiment timing + run summary
 //	dxbench -events run.json # JSON-lines event log
+//	dxbench -retries 3       # per-point retry budget for transient failures
+//	dxbench -point-timeout 30s  # deadline per point attempt
+//	dxbench -chaos error=0.1 # deterministic fault injection (chaos testing)
+//	dxbench -checkpoint DIR  # journal results for crash-safe resume
+//	dxbench -checkpoint DIR -resume  # resume from a prior journal
 //
 // Experiments fan out over a worker pool; output is byte-identical for
 // every -parallel value, because results are assembled in sweep order and
 // all shared random draws happen before the fan-out. A content-keyed cache
 // (disable with -nocache) executes each distinct simulation once per run,
 // even when several sweeps share a baseline.
+//
+// The run is resilient: a point that panics or keeps failing is rendered
+// as a footnoted FAILED cell and the suite continues. Exit codes: 0 means
+// every point succeeded, 1 a hard failure (bad usage, run cancelled or
+// timed out, I/O error), 2 a run that completed degraded — output was
+// produced but at least one point failed.
 package main
 
 import (
@@ -31,8 +42,16 @@ import (
 	"time"
 
 	"dxbsp/internal/experiments"
+	"dxbsp/internal/faults"
 	"dxbsp/internal/runner"
 	"dxbsp/internal/tablefmt"
+)
+
+// Exit codes of the dxbench contract.
+const (
+	exitOK       = 0
+	exitHard     = 1
+	exitDegraded = 2
 )
 
 func main() {
@@ -58,13 +77,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 		events   = fs.String("events", "", "write a JSON-lines event log to this file")
 		nocache  = fs.Bool("nocache", false, "disable the memoized simulation cache")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0: no limit)")
+
+		retries    = fs.Int("retries", 2, "retries per point for transient failures")
+		pointLimit = fs.Duration("point-timeout", 0, "deadline per point attempt (0: no limit)")
+		chaos      = fs.String("chaos", "", "inject deterministic faults: a rate (\"0.1\") or k=v pairs (panic/error/delay/cancel/corrupt/seed/maxdelay/repeat)")
+		checkpoint = fs.String("checkpoint", "", "journal completed simulations to this directory")
+		resume     = fs.Bool("resume", false, "reuse results from an existing -checkpoint journal")
 	)
 	if err := fs.Parse(args); err != nil {
-		return 2
+		return exitHard
 	}
 	if *format != "text" && *format != "csv" && *format != "plot" {
 		fmt.Fprintf(stderr, "dxbench: unknown format %q\n", *format)
-		return 2
+		return exitHard
+	}
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(stderr, "dxbench: -resume requires -checkpoint")
+		return exitHard
+	}
+	if *checkpoint != "" && *nocache {
+		fmt.Fprintln(stderr, "dxbench: -checkpoint requires the cache; drop -nocache")
+		return exitHard
 	}
 
 	if *list {
@@ -90,12 +123,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		e, ok := experiments.Lookup(*expID)
 		if !ok {
 			fmt.Fprintf(stderr, "dxbench: unknown experiment %q (use -list)\n", *expID)
-			return 2
+			return exitHard
 		}
 		todo = []experiments.Experiment{e}
 	}
 
-	r := &runner.Runner{Parallel: *parallel}
+	r := &runner.Runner{
+		Parallel: *parallel,
+		Retry:    runner.RetryPolicy{MaxAttempts: *retries + 1, Seed: cfg.Seed},
+		// The suite keeps going when a point exhausts its budget: the cell
+		// is footnoted and the run exits with code 2.
+		Degraded:     true,
+		PointTimeout: *pointLimit,
+	}
 	if !*nocache {
 		r.Cache = runner.NewCache()
 	}
@@ -106,10 +146,43 @@ func run(args []string, stdout, stderr io.Writer) int {
 		f, err := os.Create(*events)
 		if err != nil {
 			fmt.Fprintf(stderr, "dxbench: %v\n", err)
-			return 2
+			return exitHard
 		}
 		defer f.Close()
 		r.Events = runner.NewEventLog(f)
+	}
+
+	var injector *faults.Injector
+	if *chaos != "" {
+		spec, err := faults.ParseSpec(*chaos)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		injector = faults.New(spec, nil, r.Events)
+		if r.Cache != nil {
+			r.Cache.Next = injector
+		} else {
+			cfg.Sim = injector
+		}
+	}
+
+	if *checkpoint != "" {
+		journal, err := runner.OpenJournal(*checkpoint, *resume, stderr)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		defer journal.Close()
+		r.Cache.Journal = journal
+		if injector != nil {
+			journal.Corrupt = injector.CorruptRecord
+		}
+		if *resume {
+			js := journal.Stats()
+			r.Events.Emit(runner.Event{Type: "checkpoint_loaded",
+				CheckpointEntries: js.Loaded, CheckpointSkipped: js.Skipped})
+		}
 	}
 
 	ctx := context.Background()
@@ -131,7 +204,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			} else {
 				fmt.Fprintf(stderr, "dxbench: %v\n", err)
 			}
-			return 1
+			return exitHard
 		}
 		results = append(results, res)
 		renderResult(stdout, stderr, res.Output, e.ID, *format, *logx, *logy)
@@ -146,16 +219,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	summary := runner.Event{Type: "run_done", Points: totalPoints(results)}
+	summary := runner.Event{Type: "run_done", Points: totalPoints(results), Failed: totalFailed(results)}
 	if r.Cache != nil {
 		cs := r.Cache.Stats()
 		summary.CacheHits, summary.CacheMisses, summary.CacheBypassed = cs.Hits, cs.Misses, cs.Bypassed
+		if r.Cache.Journal != nil {
+			js := r.Cache.Journal.Stats()
+			summary.CheckpointEntries, summary.CheckpointSkipped = js.Loaded, js.Skipped
+			summary.CheckpointRestored, summary.CheckpointAppended = js.Restored, js.Appended
+		}
 	}
 	r.Events.Emit(summary)
 	if *timing {
 		printSummary(stderr, r, results)
 	}
-	return 0
+	if injector != nil && *timing {
+		fmt.Fprintf(stderr, "  faults injected: %s\n", injector.Stats())
+	}
+	if failed := totalFailed(results); failed > 0 {
+		fmt.Fprintf(stderr, "dxbench: completed degraded: %d point(s) failed (see footnotes)\n", failed)
+		return exitDegraded
+	}
+	return exitOK
 }
 
 // renderResult writes one experiment result in the requested format.
@@ -181,22 +266,35 @@ func renderResult(stdout, stderr io.Writer, out experiments.Renderable, id, form
 }
 
 // printSummary reports the run's execution statistics on stderr: per-
-// experiment wall time and pool utilization, then cache effectiveness.
+// experiment wall time and pool utilization, then cache, retry and
+// checkpoint effectiveness.
 func printSummary(w io.Writer, r *runner.Runner, results []runner.Result) {
 	fmt.Fprintln(w, "run summary:")
 	var wall time.Duration
 	for _, res := range results {
 		wall += res.Stats.Wall
-		fmt.Fprintf(w, "  %-4s %3d point(s) on %d worker(s) in %8v  (util %3.0f%%)\n",
+		status := ""
+		if res.Stats.Failed > 0 {
+			status = fmt.Sprintf("  %d FAILED", res.Stats.Failed)
+		}
+		fmt.Fprintf(w, "  %-4s %3d point(s) on %d worker(s) in %8v  (util %3.0f%%)%s\n",
 			res.ID, res.Stats.Points, res.Stats.Workers,
-			res.Stats.Wall.Round(time.Millisecond), 100*res.Stats.Utilization())
+			res.Stats.Wall.Round(time.Millisecond), 100*res.Stats.Utilization(), status)
 	}
 	fmt.Fprintf(w, "  total: %d experiment(s), %d point(s) in %v\n",
 		len(results), totalPoints(results), wall.Round(time.Millisecond))
+	if retries, failed := totalRetries(results), totalFailed(results); retries > 0 || failed > 0 {
+		fmt.Fprintf(w, "  resilience: %d retry(ies), %d point(s) failed\n", retries, failed)
+	}
 	if r.Cache != nil {
 		cs := r.Cache.Stats()
 		fmt.Fprintf(w, "  cache: %d hit(s), %d miss(es), %d bypassed (hit rate %.1f%%)\n",
 			cs.Hits, cs.Misses, cs.Bypassed, 100*cs.HitRate())
+		if r.Cache.Journal != nil {
+			js := r.Cache.Journal.Stats()
+			fmt.Fprintf(w, "  checkpoint: %d entry(ies), %d restored, %d appended, %d corrupt skipped\n",
+				js.Loaded, js.Restored, js.Appended, js.Skipped)
+		}
 	}
 }
 
@@ -204,6 +302,22 @@ func totalPoints(rs []runner.Result) int {
 	n := 0
 	for _, r := range rs {
 		n += r.Stats.Points
+	}
+	return n
+}
+
+func totalFailed(rs []runner.Result) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Stats.Failed
+	}
+	return n
+}
+
+func totalRetries(rs []runner.Result) int {
+	n := 0
+	for _, r := range rs {
+		n += r.Stats.Retries
 	}
 	return n
 }

@@ -89,15 +89,25 @@ func TestRunPlotFormat(t *testing.T) {
 	}
 }
 
+// Usage and configuration errors are hard failures: exit code 1.
 func TestRunErrors(t *testing.T) {
-	if _, errOut, code := runBench(t, "-experiment", "NOPE"); code != 2 || !strings.Contains(errOut, "unknown experiment") {
+	if _, errOut, code := runBench(t, "-experiment", "NOPE"); code != 1 || !strings.Contains(errOut, "unknown experiment") {
 		t.Errorf("unknown experiment: code=%d err=%q", code, errOut)
 	}
-	if _, errOut, code := runBench(t, "-format", "xml"); code != 2 || !strings.Contains(errOut, "unknown format") {
+	if _, errOut, code := runBench(t, "-format", "xml"); code != 1 || !strings.Contains(errOut, "unknown format") {
 		t.Errorf("unknown format: code=%d err=%q", code, errOut)
 	}
-	if _, _, code := runBench(t, "-badflag"); code != 2 {
+	if _, _, code := runBench(t, "-badflag"); code != 1 {
 		t.Errorf("bad flag accepted: code=%d", code)
+	}
+	if _, errOut, code := runBench(t, "-resume"); code != 1 || !strings.Contains(errOut, "-resume requires -checkpoint") {
+		t.Errorf("-resume without -checkpoint: code=%d err=%q", code, errOut)
+	}
+	if _, errOut, code := runBench(t, "-chaos", "rate=bogus"); code != 1 || !strings.Contains(errOut, "faults:") {
+		t.Errorf("bad chaos spec: code=%d err=%q", code, errOut)
+	}
+	if _, _, code := runBench(t, "-quick", "-experiment", "T1", "-checkpoint", t.TempDir(), "-nocache"); code != 1 {
+		t.Errorf("-checkpoint with -nocache accepted: code=%d", code)
 	}
 }
 
@@ -166,5 +176,134 @@ func TestRunProgress(t *testing.T) {
 	}
 	if !strings.Contains(errOut, "[F2]") {
 		t.Errorf("progress output missing:\n%s", errOut)
+	}
+}
+
+// The exit-code contract, all three codes: 0 for a clean run, 1 for a
+// hard failure, 2 for a run that completed but with failed points.
+func TestExitCodeContract(t *testing.T) {
+	if _, _, code := runBench(t, "-quick", "-experiment", "T1"); code != 0 {
+		t.Errorf("clean run: code=%d, want 0", code)
+	}
+	if _, _, code := runBench(t, "-experiment", "NOPE"); code != 1 {
+		t.Errorf("hard failure: code=%d, want 1", code)
+	}
+	out, errOut, code := runBench(t, "-quick", "-experiment", "T2", "-chaos", "panic=1,seed=3")
+	if code != 2 {
+		t.Errorf("degraded run: code=%d, want 2\nstderr:\n%s", code, errOut)
+	}
+	if !strings.Contains(errOut, "completed degraded") {
+		t.Errorf("degraded run missing stderr summary:\n%s", errOut)
+	}
+	if !strings.Contains(out, "FAILED [") || !strings.Contains(out, "injected panic fault") {
+		t.Errorf("degraded output missing footnoted FAILED cells:\n%s", out)
+	}
+}
+
+// A panicking point must never terminate the process: the rest of the
+// suite still renders and the failure is confined to footnoted cells.
+func TestPanicIsolated(t *testing.T) {
+	// seed=5 with a 20% panic rate fails some points of F2 but not all.
+	out, _, code := runBench(t, "-quick", "-experiment", "F2", "-chaos", "panic=0.2,seed=5")
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(out, "FAILED [") {
+		t.Fatalf("no footnoted failures:\n%s", out)
+	}
+	if !strings.Contains(out, "== F2") {
+		t.Errorf("table not rendered:\n%s", out)
+	}
+}
+
+// Transient chaos must not change the output: with retries enabled and
+// each simulation faulting at most once, a chaos run renders byte-for-byte
+// what the fault-free run renders, for any worker count.
+func TestChaosTransientDeterministic(t *testing.T) {
+	base, _, code := runBench(t, "-quick", "-experiment", "F2", "-parallel", "1")
+	if code != 0 {
+		t.Fatalf("baseline exit %d", code)
+	}
+	spec := "error=0.2,cancel=0.1,delay=0.1,seed=7"
+	for _, workers := range []string{"1", "4", "8"} {
+		out, errOut, code := runBench(t, "-quick", "-experiment", "F2", "-parallel", workers, "-chaos", spec)
+		if code != 0 {
+			t.Fatalf("parallel=%s: exit %d\nstderr:\n%s", workers, code, errOut)
+		}
+		if out != base {
+			t.Errorf("parallel=%s: chaos output differs from fault-free baseline", workers)
+		}
+	}
+}
+
+// Checkpoint/resume: a resumed run must render byte-identical output
+// while re-executing zero journaled simulations (run_done shows no cache
+// misses, only checkpoint restores).
+func TestCheckpointResume(t *testing.T) {
+	dir := t.TempDir()
+	ev1 := filepath.Join(t.TempDir(), "ev1.json")
+	ev2 := filepath.Join(t.TempDir(), "ev2.json")
+
+	out1, _, code := runBench(t, "-quick", "-experiment", "T2", "-checkpoint", dir, "-events", ev1)
+	if code != 0 {
+		t.Fatalf("first run exit %d", code)
+	}
+	out2, _, code := runBench(t, "-quick", "-experiment", "T2", "-checkpoint", dir, "-resume", "-events", ev2)
+	if code != 0 {
+		t.Fatalf("resumed run exit %d", code)
+	}
+	if out2 != out1 {
+		t.Errorf("resumed output differs:\n--- first ---\n%s\n--- resumed ---\n%s", out1, out2)
+	}
+
+	events, err := os.ReadFile(ev2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := ""
+	for _, line := range strings.Split(string(events), "\n") {
+		if strings.Contains(line, `"run_done"`) {
+			runDone = line
+		}
+	}
+	if runDone == "" {
+		t.Fatalf("no run_done event:\n%s", events)
+	}
+	if strings.Contains(runDone, `"cache_misses"`) {
+		t.Errorf("resumed run re-executed simulations: %s", runDone)
+	}
+	if !strings.Contains(runDone, `"checkpoint_restored"`) {
+		t.Errorf("resumed run restored nothing: %s", runDone)
+	}
+	if !strings.Contains(string(events), `"checkpoint_loaded"`) {
+		t.Errorf("no checkpoint_loaded event:\n%s", events)
+	}
+}
+
+// A journal truncated by a crash mid-write must resume: the torn record
+// is recomputed, the rest restored, and the output unchanged.
+func TestCheckpointResumeTruncated(t *testing.T) {
+	dir := t.TempDir()
+	out1, _, code := runBench(t, "-quick", "-experiment", "T2", "-checkpoint", dir)
+	if code != 0 {
+		t.Fatalf("first run exit %d", code)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-20], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out2, errOut, code := runBench(t, "-quick", "-experiment", "T2", "-checkpoint", dir, "-resume")
+	if code != 0 {
+		t.Fatalf("resumed run exit %d", code)
+	}
+	if out2 != out1 {
+		t.Error("resume from truncated journal changed the output")
+	}
+	if !strings.Contains(errOut, "checkpoint: skipping") {
+		t.Errorf("torn record not reported:\n%s", errOut)
 	}
 }

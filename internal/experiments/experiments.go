@@ -49,19 +49,20 @@ type Config struct {
 	Sim SimRunner
 }
 
-// SimRunner abstracts sim.Run so a scheduler can interpose a cache.
-// Implementations must be safe for concurrent use.
+// SimRunner abstracts sim.RunContext so a scheduler can interpose a cache
+// or a fault injector. Implementations must be safe for concurrent use and
+// must honor ctx: a cancelled context interrupts the simulation mid-flight.
 type SimRunner interface {
-	RunSim(cfg sim.Config, pt core.Pattern) (sim.Result, error)
+	RunSim(ctx context.Context, cfg sim.Config, pt core.Pattern) (sim.Result, error)
 }
 
 // RunSim routes one simulation through the configured SimRunner, or
-// directly to sim.Run when none is installed.
-func (c Config) RunSim(sc sim.Config, pt core.Pattern) (sim.Result, error) {
+// directly to sim.RunContext when none is installed.
+func (c Config) RunSim(ctx context.Context, sc sim.Config, pt core.Pattern) (sim.Result, error) {
 	if c.Sim != nil {
-		return c.Sim.RunSim(sc, pt)
+		return c.Sim.RunSim(ctx, sc, pt)
 	}
-	return sim.Run(sc, pt)
+	return sim.RunContext(ctx, sc, pt)
 }
 
 // DefaultConfig returns the paper-scale configuration.
@@ -95,9 +96,16 @@ type Point struct {
 // PointResult is the outcome of one point.
 type PointResult struct {
 	Index int
+	// Label names the point. The serial path leaves it empty; the runner
+	// fills it for failed points so Assemble can footnote the cell.
+	Label string
 	// Value is the experiment-specific payload. Table-shaped sweeps store
 	// the rows ([][]interface{}) the point contributes.
 	Value interface{}
+	// Err, when non-nil, marks a point that failed after the runner's
+	// retry budget. Value is nil and Assemble renders the failure as a
+	// footnoted cell instead of data rows (degraded mode).
+	Err error
 }
 
 // Experiment couples an ID with its three-stage regenerator.
@@ -169,9 +177,18 @@ func runPoint(ctx context.Context, cfg Config, p Point) (PointResult, error) {
 	return PointResult{Index: p.Index, Value: v}, nil
 }
 
+// failedCell footnotes a failed point on t and returns the marker cell
+// rendered in its place. The footnote carries the point's label and the
+// final error; the cell carries the reference.
+func failedCell(t *tablefmt.Table, r PointResult) string {
+	n := t.AddFootnote(fmt.Sprintf("%s: %v", r.Label, r.Err))
+	return fmt.Sprintf("%s FAILED [%d]", r.Label, n)
+}
+
 // sweep builds a table-shaped Experiment: mkTable returns the empty titled
 // table, points enumerates the sweep, and Assemble appends each point's
-// rows in sweep order.
+// rows in sweep order. Failed points (degraded runs) render as footnoted
+// marker rows in the position their data would have occupied.
 func sweep(id, title string, mkTable func(Config) *tablefmt.Table, points func(Config) []Point) Experiment {
 	return Experiment{
 		ID:    id,
@@ -187,6 +204,10 @@ func sweep(id, title string, mkTable func(Config) *tablefmt.Table, points func(C
 		Assemble: func(cfg Config, results []PointResult) Renderable {
 			t := mkTable(cfg)
 			for _, r := range results {
+				if r.Err != nil {
+					t.AddRow(failedCell(t, r))
+					continue
+				}
 				rows, _ := r.Value.(tableRows)
 				for _, row := range rows {
 					t.AddRow(row...)
@@ -210,6 +231,11 @@ func single(id, title string, run func(Config) (Renderable, error)) Experiment {
 		},
 		RunPoint: runPoint,
 		Assemble: func(_ Config, results []PointResult) Renderable {
+			if r := results[0]; r.Err != nil {
+				t := tablefmt.New(fmt.Sprintf("%s: %s", id, title), "status")
+				t.AddRow(failedCell(t, r))
+				return t
+			}
 			return results[0].Value.(Renderable)
 		},
 	}

@@ -37,14 +37,14 @@ func expX1() Experiment {
 				m := m
 				m.L = 0
 				sub := g.Split()
-				pts = append(pts, newPoint(m.Name, func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(m.Name, func(ctx context.Context, cfg Config) (tableRows, error) {
 					rand := patterns.Uniform(n, 1<<34, sub.Clone())
 					k := n / 64
 					cont := patterns.Contention(n, k, 1)
 					ratio := func(addrs []uint64) (float64, error) {
 						pt := core.NewPattern(addrs, m.Procs)
 						prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
-						r, err := cfg.RunSim(sim.Config{Machine: m}, pt)
+						r, err := cfg.RunSim(ctx, sim.Config{Machine: m}, pt)
 						if err != nil {
 							return 0, err
 						}
@@ -85,16 +85,16 @@ func expX2() Experiment {
 			var pts []Point
 			for k := 1; k <= n; k *= step {
 				k := k
-				pts = append(pts, newPoint(fmt.Sprintf("k=%d", k), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("k=%d", k), func(ctx context.Context, cfg Config) (tableRows, error) {
 					m := core.J90()
 					a := patterns.Contention(n, k, 1)
 					pt := core.NewPattern(a, m.Procs)
 					prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
-					plain, err := cfg.RunSim(sim.Config{Machine: m}, pt)
+					plain, err := cfg.RunSim(ctx, sim.Config{Machine: m}, pt)
 					if err != nil {
 						return nil, err
 					}
-					cached, err := cfg.RunSim(sim.Config{Machine: m, BankCacheLines: 4}, pt)
+					cached, err := cfg.RunSim(ctx, sim.Config{Machine: m, BankCacheLines: 4}, pt)
 					if err != nil {
 						return nil, err
 					}
@@ -199,13 +199,13 @@ func expX5() Experiment {
 			var pts []Point
 			for k := 1; k <= n; k *= step {
 				k := k
-				pts = append(pts, newPoint(fmt.Sprintf("k=%d", k), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("k=%d", k), func(ctx context.Context, cfg Config) (tableRows, error) {
 					m := core.J90()
 					lp := core.FromMachine(m, 0.5) // modest per-message overhead
 					a := patterns.Contention(n, k, 1)
 					pt := core.NewPattern(a, m.Procs)
 					prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
-					r, err := cfg.RunSim(sim.Config{Machine: m}, pt)
+					r, err := cfg.RunSim(ctx, sim.Config{Machine: m}, pt)
 					if err != nil {
 						return nil, err
 					}
@@ -347,12 +347,12 @@ func expX8() Experiment {
 			var pts []Point
 			for _, s := range exps {
 				s := s
-				pts = append(pts, newPoint(fmt.Sprintf("s=%g", s), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("s=%g", s), func(ctx context.Context, cfg Config) (tableRows, error) {
 					n := cfg.N
 					m := core.J90()
 					a := patterns.Zipf(n, n, s, rng.New(cfg.Seed))
 					kappa := patterns.MaxContention(a)
-					simC, dx, bsp, err := runScatter(cfg, m, a, false)
+					simC, dx, bsp, err := runScatter(ctx, cfg, m, a, false)
 					if err != nil {
 						return nil, err
 					}

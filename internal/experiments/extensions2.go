@@ -167,15 +167,15 @@ func expX13() Experiment {
 			var pts []Point
 			for _, w := range windows {
 				w := w
-				pts = append(pts, newPoint(fmt.Sprintf("w=%d", w), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("w=%d", w), func(ctx context.Context, cfg Config) (tableRows, error) {
 					m := core.J90()
 					m.L = 100 // netDelay = 50 each way
 					pt := core.NewPattern(addrs, m.Procs)
-					open, err := cfg.RunSim(sim.Config{Machine: m}, pt)
+					open, err := cfg.RunSim(ctx, sim.Config{Machine: m}, pt)
 					if err != nil {
 						return nil, err
 					}
-					r, err := cfg.RunSim(sim.Config{Machine: m, Window: w}, pt)
+					r, err := cfg.RunSim(ctx, sim.Config{Machine: m, Window: w}, pt)
 					if err != nil {
 						return nil, err
 					}

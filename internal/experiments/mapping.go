@@ -38,13 +38,13 @@ func expF6() Experiment {
 			var pts []Point
 			for _, x := range xs {
 				x := x
-				pts = append(pts, newPoint(fmt.Sprintf("x=%g", x), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("x=%g", x), func(ctx context.Context, cfg Config) (tableRows, error) {
 					row := []interface{}{x}
 					for _, d := range []float64{6, 14} {
 						m := core.Machine{Name: "exp", Procs: 8, Banks: int(8 * x), D: d, G: 1, L: 0}
 						pt := core.NewPattern(addrs, m.Procs)
 						prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
-						r, err := cfg.RunSim(sim.Config{Machine: m}, pt)
+						r, err := cfg.RunSim(ctx, sim.Config{Machine: m}, pt)
 						if err != nil {
 							return nil, err
 						}
@@ -90,7 +90,7 @@ func expF7() Experiment {
 				for tr := range splits {
 					splits[tr] = g.Split()
 				}
-				pts = append(pts, newPoint(fmt.Sprintf("banks=%d", 1<<mBits), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("banks=%d", 1<<mBits), func(ctx context.Context, cfg Config) (tableRows, error) {
 					banks := 1 << mBits
 					m := core.Machine{Name: "map", Procs: 8, Banks: banks, D: 6, G: 1, L: 0}
 					addrs := patterns.WorstCaseBank(n, banks)
@@ -101,7 +101,7 @@ func expF7() Experiment {
 
 					// Identity mapping: fully serialized.
 					ptI := core.NewPattern(addrs, m.Procs)
-					rI, err := cfg.RunSim(sim.Config{Machine: m}, ptI)
+					rI, err := cfg.RunSim(ctx, sim.Config{Machine: m}, ptI)
 					if err != nil {
 						return nil, err
 					}
@@ -110,7 +110,7 @@ func expF7() Experiment {
 					var hashed float64
 					for _, sp := range splits {
 						bm := hashfn.Map{F: hashfn.NewLinear(mBits, sp.Clone())}
-						r, err := cfg.RunSim(sim.Config{Machine: m, BankMap: bm}, ptI)
+						r, err := cfg.RunSim(ctx, sim.Config{Machine: m, BankMap: bm}, ptI)
 						if err != nil {
 							return nil, err
 						}

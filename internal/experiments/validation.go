@@ -21,10 +21,10 @@ import (
 // runScatter simulates a scatter of the addresses on machine m and returns
 // (simulated cycles, (d,x)-BSP prediction, BSP prediction). The simulation
 // routes through cfg.RunSim so the runner's memo cache sees it.
-func runScatter(cfg Config, m core.Machine, addrs []uint64, useSections bool) (simC, dx, bsp float64, err error) {
+func runScatter(ctx context.Context, cfg Config, m core.Machine, addrs []uint64, useSections bool) (simC, dx, bsp float64, err error) {
 	pt := core.NewPattern(addrs, m.Procs)
 	prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
-	r, err := cfg.RunSim(sim.Config{Machine: m, UseSections: useSections}, pt)
+	r, err := cfg.RunSim(ctx, sim.Config{Machine: m, UseSections: useSections}, pt)
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -47,11 +47,11 @@ func expT2() Experiment {
 			var pts []Point
 			for _, m := range []core.Machine{core.C90(), core.J90()} {
 				m := m
-				pts = append(pts, newPoint(m.Name, func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(m.Name, func(ctx context.Context, cfg Config) (tableRows, error) {
 					n := cfg.N
 					// Effective gap: unit-stride addresses, bandwidth bound.
 					flat := patterns.Strided(n, 0, 1)
-					simFlat, _, _, err := runScatter(cfg, m, flat, false)
+					simFlat, _, _, err := runScatter(ctx, cfg, m, flat, false)
 					if err != nil {
 						return nil, err
 					}
@@ -59,7 +59,7 @@ func expT2() Experiment {
 
 					// Effective delay: all requests to one location.
 					hot := patterns.AllSame(n/8, 0)
-					simHot, _, _, err := runScatter(cfg, m, hot, false)
+					simHot, _, _, err := runScatter(ctx, cfg, m, hot, false)
 					if err != nil {
 						return nil, err
 					}
@@ -70,7 +70,7 @@ func expT2() Experiment {
 					kMeas := 0
 					for k := 1; k <= n; k *= 2 {
 						a := patterns.Contention(n, k, 1)
-						s, _, _, err := runScatter(cfg, m, a, false)
+						s, _, _, err := runScatter(ctx, cfg, m, a, false)
 						if err != nil {
 							return nil, err
 						}
@@ -217,14 +217,14 @@ func expF2() Experiment {
 			var pts []Point
 			for k := 1; k <= n; k *= step {
 				k := k
-				pts = append(pts, newPoint(fmt.Sprintf("k=%d", k), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("k=%d", k), func(ctx context.Context, cfg Config) (tableRows, error) {
 					j90, c90 := core.J90(), core.C90()
 					a := patterns.Contention(n, k, 1)
-					js, jdx, jbsp, err := runScatter(cfg, j90, a, false)
+					js, jdx, jbsp, err := runScatter(ctx, cfg, j90, a, false)
 					if err != nil {
 						return nil, err
 					}
-					cs, cdx, _, err := runScatter(cfg, c90, a, false)
+					cs, cdx, _, err := runScatter(ctx, cfg, c90, a, false)
 					if err != nil {
 						return nil, err
 					}
@@ -258,12 +258,12 @@ func expF3() Experiment {
 			for sz := lo; sz <= n*16; sz *= 16 {
 				sz := sz
 				sub := g.Split()
-				pts = append(pts, newPoint(fmt.Sprintf("m=%d", sz), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("m=%d", sz), func(ctx context.Context, cfg Config) (tableRows, error) {
 					m := core.J90()
 					a := patterns.Uniform(n, uint64(sz), sub.Clone())
 					pt := core.NewPattern(a, m.Procs)
 					prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
-					s, dx, bsp, err := runScatter(cfg, m, a, false)
+					s, dx, bsp, err := runScatter(ctx, cfg, m, a, false)
 					if err != nil {
 						return nil, err
 					}
@@ -295,13 +295,13 @@ func expF4() Experiment {
 			var pts []Point
 			for _, r := range rounds {
 				r := r
-				pts = append(pts, newPoint(fmt.Sprintf("rounds=%d", r), func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint(fmt.Sprintf("rounds=%d", r), func(ctx context.Context, cfg Config) (tableRows, error) {
 					n := cfg.N
 					m := core.J90()
 					a := patterns.Entropy(n, uint64(n), r, rng.New(cfg.Seed))
 					h := patterns.MeasureEntropy(a)
 					kappa := patterns.MaxContention(a)
-					s, dx, bsp, err := runScatter(cfg, m, a, false)
+					s, dx, bsp, err := runScatter(ctx, cfg, m, a, false)
 					if err != nil {
 						return nil, err
 					}
@@ -355,10 +355,10 @@ func expF5() Experiment {
 			for _, v := range []string{"a", "b", "c"} {
 				v := v
 				a := mk(v)
-				pts = append(pts, newPoint("("+v+")", func(_ context.Context, cfg Config) (tableRows, error) {
+				pts = append(pts, newPoint("("+v+")", func(ctx context.Context, cfg Config) (tableRows, error) {
 					pt := core.NewPattern(a, m.Procs)
 					prof := core.ComputeProfileCompact(pt, core.InterleaveMap{Banks: m.Banks})
-					r, err := cfg.RunSim(sim.Config{Machine: m, UseSections: true}, pt)
+					r, err := cfg.RunSim(ctx, sim.Config{Machine: m, UseSections: true}, pt)
 					if err != nil {
 						return nil, err
 					}

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -8,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"dxbsp/internal/core"
+	"dxbsp/internal/experiments"
 	"dxbsp/internal/sim"
 )
 
@@ -27,11 +29,22 @@ type CacheKeyer interface {
 // run of the whole suite executes each distinct simulation once.
 //
 // Concurrent requests for the same key are deduplicated: one caller runs
-// the simulation, the rest wait for its result. Cache implements
+// the simulation, the rest wait for its result. Failed simulations are
+// never cached: the entry is evicted so a retry re-executes, and a panic
+// below the cache evicts too (waiters receive a retryable error while the
+// panic continues to the runner's point guard). Cache implements
 // experiments.SimRunner and is safe for concurrent use.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
+
+	// Next, when non-nil, executes cache misses — the fault injector's
+	// seat in chaos runs. Nil means sim.RunContext.
+	Next experiments.SimRunner
+
+	// Journal, when non-nil, persists every computed result and serves
+	// journaled ones without re-running the simulation (checkpoint/resume).
+	Journal *Journal
 
 	hits     atomic.Uint64
 	misses   atomic.Uint64
@@ -77,14 +90,29 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
+// downstream executes a request below the cache: the configured Next
+// runner (fault injector) or the simulator itself.
+func (c *Cache) downstream(ctx context.Context, cfg sim.Config, pt core.Pattern) (sim.Result, error) {
+	if c.Next != nil {
+		return c.Next.RunSim(ctx, cfg, pt)
+	}
+	return sim.RunContext(ctx, cfg, pt)
+}
+
+func (c *Cache) evict(key string) {
+	c.mu.Lock()
+	delete(c.entries, key)
+	c.mu.Unlock()
+}
+
 // RunSim implements experiments.SimRunner: it serves the result from the
-// cache when an identical simulation has already run (or is running), and
-// executes and stores it otherwise.
-func (c *Cache) RunSim(cfg sim.Config, pt core.Pattern) (sim.Result, error) {
+// cache (or the checkpoint journal) when an identical simulation has
+// already run, and executes and stores it otherwise.
+func (c *Cache) RunSim(ctx context.Context, cfg sim.Config, pt core.Pattern) (sim.Result, error) {
 	key, ok := cacheKey(cfg, pt)
 	if !ok {
 		c.bypassed.Add(1)
-		return sim.Run(cfg, pt)
+		return c.downstream(ctx, cfg, pt)
 	}
 
 	c.mu.Lock()
@@ -98,10 +126,44 @@ func (c *Cache) RunSim(cfg sim.Config, pt core.Pattern) (sim.Result, error) {
 	c.entries[key] = e
 	c.mu.Unlock()
 
+	if c.Journal != nil {
+		if res, found := c.Journal.Lookup(key); found {
+			e.res = res
+			close(e.done)
+			return res, nil
+		}
+	}
+
 	c.misses.Add(1)
-	e.res, e.err = sim.Run(cfg, pt)
+	finished := false
+	defer func() {
+		// A panic below the cache (injected fault, simulator bug) must not
+		// leave waiters blocked or a poisoned entry in the map: evict,
+		// hand waiters a retryable error, and let the panic continue to
+		// the runner's point guard.
+		if !finished {
+			c.evict(key)
+			e.err = MarkTransient(fmt.Errorf("simulation aborted by a panic in a concurrent caller"))
+			close(e.done)
+		}
+	}()
+	e.res, e.err = c.downstream(ctx, cfg, pt)
+	finished = true
+	if e.err != nil {
+		// Failures are not cached: evict so a retry re-executes.
+		c.evict(key)
+	} else if c.Journal != nil {
+		c.Journal.Append(key, e.res)
+	}
 	close(e.done)
 	return e.res, e.err
+}
+
+// SimKey exposes the cache's content fingerprint of one simulation
+// request; the checkpoint journal and the fault injector key on it too.
+// ok is false when the request cannot be fingerprinted (unknown bank map).
+func SimKey(cfg sim.Config, pt core.Pattern) (string, bool) {
+	return cacheKey(cfg, pt)
 }
 
 // cacheKey fingerprints one simulation request. The config is normalized

@@ -1,0 +1,210 @@
+package runner
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"dxbsp/internal/sim"
+)
+
+// Journal is the crash-safe checkpoint store: an append-only JSON-lines
+// file of simulation results keyed by the cache's content key (SimKey).
+// Each record carries an FNV-64a checksum, so a journal left behind by a
+// killed run is always usable: decoding skips truncated or corrupted
+// records with a warning, never fails, and never serves a false hit.
+//
+// The journal persists at the simulation layer rather than the point
+// layer deliberately: sim.Result is a flat struct that round-trips
+// exactly through JSON, so a resumed run replays every point against
+// journaled results and renders byte-identical output without
+// re-executing any journaled simulation.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	entries  map[string]sim.Result
+	disabled bool // set after a write error; lookups keep working
+	skipped  int  // corrupt records dropped during load
+
+	// Corrupt, when non-nil, may transform an encoded record before it is
+	// written — the fault injector's hook for corrupted-entry faults. The
+	// returned bytes must not contain newlines.
+	Corrupt func([]byte) []byte
+
+	warn     io.Writer
+	restored atomic.Uint64
+	appended atomic.Uint64
+}
+
+// journalFile is the journal's name inside the checkpoint directory.
+const journalFile = "journal.jsonl"
+
+// OpenJournal opens the checkpoint journal in dir, creating the directory
+// if needed. With resume set, previously journaled results are loaded
+// (corrupt records skipped with a warning on warn) and new results are
+// appended; otherwise any existing journal is truncated and the run
+// starts a fresh one.
+func OpenJournal(dir string, resume bool, warn io.Writer) (*Journal, error) {
+	if warn == nil {
+		warn = io.Discard
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	path := filepath.Join(dir, journalFile)
+	j := &Journal{entries: map[string]sim.Result{}, warn: warn}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_TRUNC
+	if resume {
+		flags = os.O_CREATE | os.O_WRONLY | os.O_APPEND
+		data, err := os.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return nil, fmt.Errorf("checkpoint: %w", err)
+		}
+		j.entries, j.skipped = decodeJournal(data, warn)
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Close flushes and closes the journal file. Lookups keep working.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// Len returns the number of results currently held (loaded + appended).
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Lookup returns the journaled result for key, if present.
+func (j *Journal) Lookup(key string) (sim.Result, bool) {
+	j.mu.Lock()
+	r, ok := j.entries[key]
+	j.mu.Unlock()
+	if ok {
+		j.restored.Add(1)
+	}
+	return r, ok
+}
+
+// Append journals one computed result. Write failures disable further
+// journaling with a warning — losing checkpoints must never fail the run.
+func (j *Journal) Append(key string, res sim.Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.entries[key]; ok {
+		return
+	}
+	j.entries[key] = res
+	if j.f == nil || j.disabled {
+		return
+	}
+	line := encodeRecord(key, res)
+	if j.Corrupt != nil {
+		line = j.Corrupt(line)
+	}
+	if _, err := j.f.Write(append(line, '\n')); err != nil {
+		j.disabled = true
+		fmt.Fprintf(j.warn, "checkpoint: write failed, journaling disabled: %v\n", err)
+		return
+	}
+	j.appended.Add(1)
+}
+
+// JournalStats snapshots the journal's effectiveness counters.
+type JournalStats struct {
+	// Loaded is the number of results currently held.
+	Loaded int
+	// Skipped counts corrupt or truncated records dropped during load.
+	Skipped int
+	// Restored counts lookups served from the journal this run.
+	Restored uint64
+	// Appended counts records written this run.
+	Appended uint64
+}
+
+// Stats returns a snapshot of the counters.
+func (j *Journal) Stats() JournalStats {
+	j.mu.Lock()
+	loaded, skipped := len(j.entries), j.skipped
+	j.mu.Unlock()
+	return JournalStats{
+		Loaded:   loaded,
+		Skipped:  skipped,
+		Restored: j.restored.Load(),
+		Appended: j.appended.Load(),
+	}
+}
+
+// journalRecord is one line of the journal file.
+type journalRecord struct {
+	Key string     `json:"k"`
+	Res sim.Result `json:"r"`
+	Sum string     `json:"s"`
+}
+
+// recordSum fingerprints one record's payload. %+v of sim.Result is
+// deterministic (flat struct, shortest-round-trip floats), so the sum is
+// stable across processes.
+func recordSum(key string, res sim.Result) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%+v", key, res)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func encodeRecord(key string, res sim.Result) []byte {
+	// A fixed struct of strings and scalars cannot fail to marshal.
+	line, _ := json.Marshal(journalRecord{Key: key, Res: res, Sum: recordSum(key, res)})
+	return line
+}
+
+// decodeJournal parses journal bytes tolerantly: records that fail to
+// parse, have no key, or whose checksum does not match are counted and
+// skipped with a warning — a truncated tail is the normal residue of a
+// killed run, and a corrupted record must become a recompute, never a
+// false hit. Later records win over earlier duplicates.
+func decodeJournal(data []byte, warn io.Writer) (map[string]sim.Result, int) {
+	if warn == nil {
+		warn = io.Discard
+	}
+	entries := map[string]sim.Result{}
+	skipped := 0
+	for i, line := range bytes.Split(data, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			skipped++
+			fmt.Fprintf(warn, "checkpoint: skipping unreadable record at line %d: %v\n", i+1, err)
+			continue
+		}
+		if rec.Key == "" || rec.Sum != recordSum(rec.Key, rec.Res) {
+			skipped++
+			fmt.Fprintf(warn, "checkpoint: skipping corrupt record at line %d (checksum mismatch)\n", i+1)
+			continue
+		}
+		entries[rec.Key] = rec.Res
+	}
+	return entries, skipped
+}

@@ -1,0 +1,47 @@
+package runner
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzJournalDecode drives the checkpoint loader with arbitrary bytes: it
+// must never panic, never serve a record that fails its checksum, and be
+// stable — decoding, re-encoding the surviving entries and decoding again
+// must reproduce them exactly with nothing skipped.
+func FuzzJournalDecode(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("\n\n\n"))
+	f.Add([]byte("{garbage"))
+	f.Add([]byte(`{"k":"","r":{},"s":"0000000000000000"}`))
+	good := encodeRecord("key1", testResult(1))
+	f.Add(append(good, '\n'))
+	f.Add(good[:len(good)/2])
+	two := append(append(append([]byte{}, good...), '\n'), encodeRecord("key2", testResult(2))...)
+	f.Add(two)
+	corrupted := bytes.Replace(good, []byte(`"Cycles"`), []byte(`"CyXles"`), 1)
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		entries, skipped := decodeJournal(data, io.Discard)
+		if skipped < 0 {
+			t.Fatalf("negative skip count %d", skipped)
+		}
+		for key, res := range entries {
+			if key == "" {
+				t.Fatal("empty key survived decoding")
+			}
+			// Every surviving record must verify: a mismatch here means a
+			// corrupted record was served as a hit.
+			line := encodeRecord(key, res)
+			re, reSkipped := decodeJournal(append(line, '\n'), io.Discard)
+			if reSkipped != 0 {
+				t.Fatalf("surviving record fails its own checksum: %q", line)
+			}
+			if got := re[key]; got != res {
+				t.Fatalf("round trip changed %q: %+v -> %+v", key, res, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The error taxonomy: every point failure the runner sees is classified as
+// transient (worth retrying — injected faults, point deadlines, flaky
+// infrastructure) or permanent (a deterministic simulation that failed
+// once will fail again — misconfiguration, panics, cancellation of the
+// whole run). Classification is structural: any error in the chain may
+// declare itself by implementing Transient() bool, so packages like
+// internal/faults participate without importing this one.
+
+// transienter is the marker interface of the taxonomy.
+type transienter interface{ Transient() bool }
+
+// transientError marks a wrapped error as retryable.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string   { return e.err.Error() }
+func (e *transientError) Unwrap() error   { return e.err }
+func (e *transientError) Transient() bool { return true }
+
+// MarkTransient wraps err so IsTransient reports true. A nil err stays nil.
+func MarkTransient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient classifies an error for the retry policy. An explicit
+// Transient() declaration anywhere in the chain wins; everything
+// unclassified — including context cancellation of the run and panics —
+// is permanent.
+func IsTransient(err error) bool {
+	var t transienter
+	if errors.As(err, &t) {
+		return t.Transient()
+	}
+	return false
+}
+
+// PanicError is a panic recovered from a point execution, carrying the
+// panic value and the goroutine stack at the throw site. It is permanent:
+// a deterministic point that panicked once will panic again.
+type PanicError struct {
+	Value interface{}
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// PointError reports one sweep point that failed after its retry budget,
+// with enough identity for degraded reporting: the experiment, the
+// point's label and index, and how many attempts were made. Err is the
+// final attempt's error (a *PanicError when the point panicked).
+type PointError struct {
+	Experiment string
+	Point      string
+	Index      int
+	Attempts   int
+	Err        error
+}
+
+func (e *PointError) Error() string {
+	return fmt.Sprintf("%s/%s: failed after %d attempt(s): %v", e.Experiment, e.Point, e.Attempts, e.Err)
+}
+
+func (e *PointError) Unwrap() error { return e.Err }

@@ -12,8 +12,9 @@ import (
 // emitted in completion order, which under parallelism is not sweep order;
 // the rendered tables, not the event log, carry the determinism guarantee.
 type Event struct {
-	// Type is "experiment_start", "point_done", "experiment_done" or
-	// "run_done".
+	// Type is "experiment_start", "point_done", "point_retry",
+	// "point_failed", "fault_injected", "experiment_done",
+	// "checkpoint_loaded" or "run_done".
 	Type string `json:"type"`
 	// ElapsedMS is the time since the log was opened.
 	ElapsedMS float64 `json:"elapsed_ms"`
@@ -27,9 +28,24 @@ type Event struct {
 	Workers     int     `json:"workers,omitempty"`
 	Utilization float64 `json:"utilization,omitempty"`
 
+	// Attempt is the attempt number that failed (point_retry,
+	// point_failed); Error is its message. Fault is the injected fault kind
+	// (fault_injected). Failed counts permanently failed points
+	// (experiment_done, run_done) — nonzero means a degraded run.
+	Attempt int    `json:"attempt,omitempty"`
+	Error   string `json:"error,omitempty"`
+	Fault   string `json:"fault,omitempty"`
+	Failed  int    `json:"failed,omitempty"`
+
 	CacheHits     uint64 `json:"cache_hits,omitempty"`
 	CacheMisses   uint64 `json:"cache_misses,omitempty"`
 	CacheBypassed uint64 `json:"cache_bypassed,omitempty"`
+
+	// Checkpoint journal counters (checkpoint_loaded, run_done).
+	CheckpointEntries  int    `json:"checkpoint_entries,omitempty"`
+	CheckpointSkipped  int    `json:"checkpoint_skipped,omitempty"`
+	CheckpointRestored uint64 `json:"checkpoint_restored,omitempty"`
+	CheckpointAppended uint64 `json:"checkpoint_appended,omitempty"`
 }
 
 // EventLog serializes events as JSON lines to a writer. Safe for

@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"hash/fnv"
+	"io"
+	"time"
+
+	"dxbsp/internal/rng"
+)
+
+// RetryPolicy bounds per-point retries of transient failures with
+// exponential backoff and deterministic seeded jitter: the same (Seed,
+// experiment, point, attempt) always produces the same delay, so a chaos
+// run's schedule is reproducible, and concurrent retries of neighboring
+// points decorrelate instead of thundering together.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per point, first run
+	// included. Values <= 1 disable retrying (the zero value keeps the
+	// runner's original fail-fast behavior).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles each
+	// further attempt. Defaults to 5ms when retries are enabled.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 250ms.
+	MaxDelay time.Duration
+	// Seed drives the jitter.
+	Seed uint64
+}
+
+func (p RetryPolicy) attempts() int {
+	if p.MaxAttempts < 1 {
+		return 1
+	}
+	return p.MaxAttempts
+}
+
+// Backoff returns the delay before retry number attempt (1-based: the
+// delay between attempt N failing and attempt N+1 starting) of the given
+// point: BaseDelay·2^(attempt-1) capped at MaxDelay, scaled by a jitter
+// factor in [0.5, 1) derived deterministically from the policy seed and
+// the point's identity.
+func (p RetryPolicy) Backoff(experiment string, index, attempt int) time.Duration {
+	base, cap := p.BaseDelay, p.MaxDelay
+	if base <= 0 {
+		base = 5 * time.Millisecond
+	}
+	if cap <= 0 {
+		cap = 250 * time.Millisecond
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := cap
+	if shift := attempt - 1; shift < 30 {
+		if exp := base << uint(shift); exp < cap {
+			d = exp
+		}
+	}
+	h := fnv.New64a()
+	io.WriteString(h, experiment)
+	var buf [16]byte
+	for i, v := range [2]int{index, attempt} {
+		for b := 0; b < 8; b++ {
+			buf[8*i+b] = byte(uint64(v) >> (8 * b))
+		}
+	}
+	h.Write(buf[:])
+	r := rng.NewSplitMix64(p.Seed ^ h.Sum64()).Next()
+	jitter := 0.5 + float64(r>>11)/float64(uint64(1)<<53)/2
+	return time.Duration(float64(d) * jitter)
+}

@@ -160,11 +160,11 @@ func testConfig() sim.Config {
 func TestCacheMemoizes(t *testing.T) {
 	c := NewCache()
 	cfg, pt := testConfig(), testPattern(256, 1)
-	r1, err := c.RunSim(cfg, pt)
+	r1, err := c.RunSim(context.Background(), cfg, pt)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := c.RunSim(cfg, pt)
+	r2, err := c.RunSim(context.Background(), cfg, pt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,16 +200,16 @@ func TestCacheKeyDiscriminates(t *testing.T) {
 		{Machine: base.Machine, BankMap: hashfn.Map{F: hashfn.Identity{M: 5}}},
 	}
 	c := NewCache()
-	if _, err := c.RunSim(base, pt); err != nil {
+	if _, err := c.RunSim(context.Background(), base, pt); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range variants {
-		if _, err := c.RunSim(v, pt); err != nil {
+		if _, err := c.RunSim(context.Background(), v, pt); err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
 	}
 	// A different pattern with the same shape must also miss.
-	if _, err := c.RunSim(base, testPattern(256, 2)); err != nil {
+	if _, err := c.RunSim(context.Background(), base, testPattern(256, 2)); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Stats()
@@ -226,7 +226,7 @@ func TestCacheKeyNormalizes(t *testing.T) {
 	m := testConfig().Machine
 	pt := testPattern(256, 1)
 	c := NewCache()
-	if _, err := c.RunSim(sim.Config{Machine: m}, pt); err != nil {
+	if _, err := c.RunSim(context.Background(), sim.Config{Machine: m}, pt); err != nil {
 		t.Fatal(err)
 	}
 	explicit := sim.Config{
@@ -234,7 +234,7 @@ func TestCacheKeyNormalizes(t *testing.T) {
 		BankMap:  core.InterleaveMap{Banks: m.Banks},
 		NetDelay: m.L / 2,
 	}
-	if _, err := c.RunSim(explicit, pt); err != nil {
+	if _, err := c.RunSim(context.Background(), explicit, pt); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.Stats(); st.Hits != 1 {
@@ -255,7 +255,7 @@ func TestCacheBypassesUnknownBankMap(t *testing.T) {
 	cfg.BankMap = opaqueMap{banks: 32}
 	pt := testPattern(256, 1)
 	for i := 0; i < 2; i++ {
-		if _, err := c.RunSim(cfg, pt); err != nil {
+		if _, err := c.RunSim(context.Background(), cfg, pt); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -277,7 +277,7 @@ func TestCacheSingleflight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			r, err := c.RunSim(cfg, pt)
+			r, err := c.RunSim(context.Background(), cfg, pt)
 			if err != nil {
 				t.Error(err)
 				return
@@ -302,7 +302,7 @@ func TestCacheReturnsErrors(t *testing.T) {
 	bad.Window = -1
 	pt := testPattern(16, 1)
 	for i := 0; i < 2; i++ {
-		if _, err := c.RunSim(bad, pt); err == nil {
+		if _, err := c.RunSim(context.Background(), bad, pt); err == nil {
 			t.Fatal("invalid config succeeded")
 		}
 	}

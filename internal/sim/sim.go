@@ -25,6 +25,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"dxbsp/internal/core"
@@ -258,10 +259,25 @@ type engine struct {
 	lastDone  float64
 }
 
+// cancelCheckEvents is how many simulated events pass between context
+// polls in RunContext. Power of two; small enough that even quick-scale
+// simulations (tens of thousands of events) observe cancellation
+// mid-flight, large enough that the poll is free on the hot path.
+const cancelCheckEvents = 1024
+
 // Run simulates one superstep of pattern pt under cfg and returns the
 // result. It panics on an invalid machine; other misconfiguration returns
-// an error.
+// an error. Run is RunContext without cancellation.
 func Run(cfg Config, pt core.Pattern) (Result, error) {
+	return RunContext(context.Background(), cfg, pt)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop polls
+// ctx every cancelCheckEvents events, so timeouts, retries and chaos
+// cancellation interrupt a simulation mid-flight instead of waiting for
+// it to finish. Polling reads no simulation state, so an uncancelled
+// RunContext produces cycle counts byte-identical to Run.
+func RunContext(ctx context.Context, cfg Config, pt core.Pattern) (Result, error) {
 	if err := cfg.Machine.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -299,7 +315,14 @@ func Run(cfg Config, pt core.Pattern) (Result, error) {
 	}
 	e.res.Requests = total
 
+	processed := 0
 	for e.events.Len() > 0 {
+		processed++
+		if processed%cancelCheckEvents == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: cancelled after %d events: %w", processed, err)
+			}
+		}
 		ev := heap.Pop(&e.events).(event)
 		e.dispatch(ev)
 	}

@@ -29,11 +29,14 @@ var (
 	_ CSVRenderer = (*Series)(nil)
 )
 
-// Table accumulates rows and renders them with aligned columns.
+// Table accumulates rows and renders them with aligned columns. Footnotes
+// added with AddFootnote render after the rows; degraded experiment runs
+// use them to annotate failed cells.
 type Table struct {
 	Title   string
 	Headers []string
 	rows    [][]string
+	notes   []string
 }
 
 // New returns a table with the given title and column headers.
@@ -57,6 +60,16 @@ func (t *Table) AddRow(cells ...interface{}) {
 
 // NumRows returns the number of data rows added.
 func (t *Table) NumRows() int { return len(t.rows) }
+
+// AddFootnote records a footnote rendered after the table's rows and
+// returns its 1-based reference number, for use in a cell.
+func (t *Table) AddFootnote(text string) int {
+	t.notes = append(t.notes, text)
+	return len(t.notes)
+}
+
+// NumFootnotes returns the number of footnotes added.
+func (t *Table) NumFootnotes() int { return len(t.notes) }
 
 func formatFloat(v float64) string {
 	av := v
@@ -107,6 +120,9 @@ func (t *Table) Render(w io.Writer) {
 	for _, row := range t.rows {
 		line(row)
 	}
+	for i, n := range t.notes {
+		fmt.Fprintf(w, "[%d] %s\n", i+1, n)
+	}
 }
 
 func pad(s string, w int) string {
@@ -117,11 +133,15 @@ func pad(s string, w int) string {
 }
 
 // RenderCSV writes the table as RFC-4180-style CSV (header row first).
-// Cells containing commas, quotes or newlines are quoted.
+// Cells containing commas, quotes or newlines are quoted. Footnotes are
+// emitted as trailing # comments so the stream stays machine-parseable.
 func (t *Table) RenderCSV(w io.Writer) {
 	writeCSVRow(w, t.Headers)
 	for _, row := range t.rows {
 		writeCSVRow(w, row)
+	}
+	for i, n := range t.notes {
+		fmt.Fprintf(w, "# [%d] %s\n", i+1, n)
 	}
 }
 

@@ -1,6 +1,7 @@
 package tablefmt
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -109,4 +110,47 @@ func TestSeriesLengthMismatchPanics(t *testing.T) {
 		}
 	}()
 	s.Add("bad", []float64{1})
+}
+
+// Footnotes render after the rows, numbered in insertion order, in both
+// text and CSV (as comments, so the stream stays machine-parseable).
+func TestTableFootnotes(t *testing.T) {
+	tb := New("t", "a", "b")
+	n1 := tb.AddFootnote("first note")
+	tb.AddRow("x", fmt.Sprintf("FAILED [%d]", n1))
+	n2 := tb.AddFootnote("second note")
+	tb.AddRow("y", fmt.Sprintf("FAILED [%d]", n2))
+	if n1 != 1 || n2 != 2 {
+		t.Fatalf("refs = %d, %d", n1, n2)
+	}
+	if tb.NumFootnotes() != 2 {
+		t.Errorf("NumFootnotes = %d", tb.NumFootnotes())
+	}
+
+	var b strings.Builder
+	tb.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "FAILED [1]") || !strings.Contains(out, "\n[1] first note\n") {
+		t.Errorf("text render:\n%s", out)
+	}
+	if idx1, idx2 := strings.Index(out, "[1] first note"), strings.Index(out, "[2] second note"); idx1 > idx2 {
+		t.Error("footnotes out of order")
+	}
+
+	var c strings.Builder
+	tb.RenderCSV(&c)
+	if !strings.Contains(c.String(), "# [1] first note\n") || !strings.Contains(c.String(), "# [2] second note\n") {
+		t.Errorf("csv render:\n%s", c.String())
+	}
+}
+
+// A table without footnotes renders exactly as before.
+func TestTableNoFootnotes(t *testing.T) {
+	tb := New("t", "a")
+	tb.AddRow("x")
+	var b strings.Builder
+	tb.Render(&b)
+	if strings.Contains(b.String(), "[1]") {
+		t.Errorf("phantom footnote:\n%s", b.String())
+	}
 }
