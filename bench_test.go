@@ -190,6 +190,37 @@ func BenchmarkSimScatter64K(b *testing.B) {
 	}
 }
 
+// BenchmarkSimScatter64KWindowed exercises the closed-loop path (per-
+// request evComplete events), which the open-loop fast path of
+// BenchmarkSimScatter64K skips — regressions in either path stay visible.
+func BenchmarkSimScatter64KWindowed(b *testing.B) {
+	m := core.J90()
+	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(2)), m.Procs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Machine: m, Window: 8}, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimScatter64KSections adds the section servers to the hot
+// path, covering the ring buffers on both server kinds.
+func BenchmarkSimScatter64KSections(b *testing.B) {
+	m := core.J90()
+	m.Sections = 8
+	m.SectionGap = 0.25
+	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(2)), m.Procs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Machine: m, UseSections: true}, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkProfile64K(b *testing.B) {
 	m := core.J90()
 	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(3)), m.Procs)

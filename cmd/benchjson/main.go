@@ -1,0 +1,224 @@
+// Command benchjson converts `go test -bench` output into a stable JSON
+// document, and compares two such documents for wall-clock regressions.
+// It is the machinery behind the CI benchmark gate and the committed
+// BENCH_sim.json trajectory file.
+//
+// Usage:
+//
+//	go test -bench Sim -benchmem -count 5 . | benchjson > BENCH_sim.json
+//	benchjson -compare base.json head.json -threshold 15
+//
+// Conversion reads benchmark lines from stdin (or from files named as
+// arguments), groups repeated runs of the same benchmark, and records the
+// median ns/op, B/op and allocs/op per benchmark — medians so that one
+// noisy run on a shared CI box cannot move the recorded number.
+//
+// Compare exits 2 when any benchmark present in both files is slower in
+// head by more than threshold percent (default 15), printing a per-
+// benchmark delta table either way. Missing counters (no -benchmem) are
+// recorded as -1 and never compared.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	exitOK         = 0
+	exitUsage      = 1
+	exitRegression = 2
+)
+
+// Bench is the recorded shape of one benchmark.
+type Bench struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Samples     int     `json:"samples"`
+}
+
+// File is the document benchjson emits and consumes.
+type File struct {
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		compare   = fs.Bool("compare", false, "compare two JSON files: benchjson -compare base.json head.json")
+		threshold = fs.Float64("threshold", 15, "percent ns/op slowdown that fails -compare")
+	)
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchjson: -compare needs exactly two files: base.json head.json")
+			return exitUsage
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *threshold, stdout, stderr)
+	}
+	return runConvert(fs.Args(), stdin, stdout, stderr)
+}
+
+func runConvert(paths []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	readers := []io.Reader{stdin}
+	if len(paths) > 0 {
+		readers = readers[:0]
+		for _, p := range paths {
+			f, err := os.Open(p)
+			if err != nil {
+				fmt.Fprintf(stderr, "benchjson: %v\n", err)
+				return exitUsage
+			}
+			defer f.Close()
+			readers = append(readers, f)
+		}
+	}
+	samples := map[string][]Bench{}
+	for _, r := range readers {
+		if err := parseBenchOutput(r, samples); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %v\n", err)
+			return exitUsage
+		}
+	}
+	out := File{Benchmarks: map[string]Bench{}}
+	for name, runs := range samples {
+		out.Benchmarks[name] = Bench{
+			NsPerOp:     median(runs, func(b Bench) float64 { return b.NsPerOp }),
+			BytesPerOp:  median(runs, func(b Bench) float64 { return b.BytesPerOp }),
+			AllocsPerOp: median(runs, func(b Bench) float64 { return b.AllocsPerOp }),
+			Samples:     len(runs),
+		}
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
+	return exitOK
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkSimScatter64K-8   36   34233920 ns/op   201736 B/op   519 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+(.*)$`)
+
+func parseBenchOutput(r io.Reader, into map[string][]Bench) error {
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		name := strings.TrimPrefix(m[1], "Benchmark")
+		b := Bench{NsPerOp: -1, BytesPerOp: -1, AllocsPerOp: -1}
+		fields := strings.Fields(m[2])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue // custom metric with non-numeric value; skip pair
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		if b.NsPerOp < 0 {
+			continue // not a timing line (e.g. a metric-only continuation)
+		}
+		into[name] = append(into[name], b)
+	}
+	return sc.Err()
+}
+
+func median(runs []Bench, get func(Bench) float64) float64 {
+	vals := make([]float64, 0, len(runs))
+	for _, r := range runs {
+		vals = append(vals, get(r))
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n == 0 {
+		return -1
+	}
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}
+
+func runCompare(basePath, headPath string, threshold float64, stdout, stderr io.Writer) int {
+	base, err := readFile(basePath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
+	head, err := readFile(headPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
+	names := make([]string, 0, len(head.Benchmarks))
+	for name := range head.Benchmarks {
+		if _, ok := base.Benchmarks[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmarks in common")
+		return exitUsage
+	}
+	regressions := 0
+	fmt.Fprintf(stdout, "%-28s %14s %14s %8s\n", "benchmark", "base ns/op", "head ns/op", "delta")
+	for _, name := range names {
+		b, h := base.Benchmarks[name], head.Benchmarks[name]
+		delta := 100 * (h.NsPerOp - b.NsPerOp) / b.NsPerOp
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		fmt.Fprintf(stdout, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsPerOp, h.NsPerOp, delta, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) slower than base by more than %g%%\n", regressions, threshold)
+		return exitRegression
+	}
+	return exitOK
+}
+
+func readFile(path string) (File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return File{}, err
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return File{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Benchmarks) == 0 {
+		return File{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return f, nil
+}

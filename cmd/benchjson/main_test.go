@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: dxbsp
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkTableT1       	   54915	     20408 ns/op	    6320 B/op	     232 allocs/op
+BenchmarkTableT1       	   60510	     19592 ns/op	    6320 B/op	     232 allocs/op
+BenchmarkTableT1       	   59742	     19621 ns/op	    6320 B/op	     232 allocs/op
+BenchmarkSimScatter64K-8 	      13	  85576734 ns/op	42548208 B/op	  538956 allocs/op
+BenchmarkAblationSimVsModel 	     100	   1000000 ns/op	         1.002 sim/model
+PASS
+ok  	dxbsp	12.529s
+`
+
+func runTool(t *testing.T, stdin string, args ...string) (string, string, int) {
+	t.Helper()
+	var out, errb strings.Builder
+	code := run(args, strings.NewReader(stdin), &out, &errb)
+	return out.String(), errb.String(), code
+}
+
+func TestConvert(t *testing.T) {
+	out, errOut, code := runTool(t, sampleBench)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var f File
+	if err := json.Unmarshal([]byte(out), &f); err != nil {
+		t.Fatal(err)
+	}
+	t1, ok := f.Benchmarks["TableT1"]
+	if !ok {
+		t.Fatalf("TableT1 missing: %v", f.Benchmarks)
+	}
+	if t1.Samples != 3 {
+		t.Errorf("TableT1 samples = %d, want 3", t1.Samples)
+	}
+	if t1.NsPerOp != 19621 { // median of 20408, 19592, 19621
+		t.Errorf("TableT1 ns/op = %v, want median 19621", t1.NsPerOp)
+	}
+	if t1.AllocsPerOp != 232 {
+		t.Errorf("TableT1 allocs/op = %v", t1.AllocsPerOp)
+	}
+	// The -8 GOMAXPROCS suffix must be stripped.
+	sc, ok := f.Benchmarks["SimScatter64K"]
+	if !ok || sc.NsPerOp != 85576734 {
+		t.Errorf("SimScatter64K = %+v, ok=%v", sc, ok)
+	}
+	// Custom metrics must not corrupt parsing.
+	if ab, ok := f.Benchmarks["AblationSimVsModel"]; !ok || ab.NsPerOp != 1000000 {
+		t.Errorf("AblationSimVsModel = %+v, ok=%v", ab, ok)
+	}
+}
+
+func TestConvertFromFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.txt")
+	if err := os.WriteFile(path, []byte(sampleBench), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _, code := runTool(t, "", path)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.Contains(out, "TableT1") {
+		t.Errorf("file input not parsed: %s", out)
+	}
+}
+
+func writeJSON(t *testing.T, f File) string {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePassAndFail(t *testing.T) {
+	base := writeJSON(t, File{Benchmarks: map[string]Bench{
+		"Fast": {NsPerOp: 1000, Samples: 1},
+		"Slow": {NsPerOp: 1000, Samples: 1},
+	}})
+
+	ok := writeJSON(t, File{Benchmarks: map[string]Bench{
+		"Fast": {NsPerOp: 1100, Samples: 1}, // +10% < 15%: fine
+		"Slow": {NsPerOp: 900, Samples: 1},
+	}})
+	out, _, code := runTool(t, "", "-compare", base, ok)
+	if code != 0 {
+		t.Fatalf("within-threshold compare failed (%d):\n%s", code, out)
+	}
+
+	bad := writeJSON(t, File{Benchmarks: map[string]Bench{
+		"Fast": {NsPerOp: 1200, Samples: 1}, // +20% > 15%: regression
+		"Slow": {NsPerOp: 900, Samples: 1},
+	}})
+	out, errOut, code := runTool(t, "", "-compare", base, bad)
+	if code != exitRegression {
+		t.Fatalf("regression not detected (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(errOut, "slower than base") {
+		t.Errorf("missing regression report:\n%s\n%s", out, errOut)
+	}
+}
+
+func TestCompareThresholdFlag(t *testing.T) {
+	base := writeJSON(t, File{Benchmarks: map[string]Bench{"B": {NsPerOp: 1000, Samples: 1}}})
+	head := writeJSON(t, File{Benchmarks: map[string]Bench{"B": {NsPerOp: 1100, Samples: 1}}})
+	if _, _, code := runTool(t, "", "-compare", "-threshold", "5", base, head); code != exitRegression {
+		t.Errorf("+10%% passed a 5%% threshold (code %d)", code)
+	}
+	if _, _, code := runTool(t, "", "-compare", "-threshold", "25", base, head); code != 0 {
+		t.Errorf("+10%% failed a 25%% threshold (code %d)", code)
+	}
+}
+
+func TestCompareUsageErrors(t *testing.T) {
+	base := writeJSON(t, File{Benchmarks: map[string]Bench{"A": {NsPerOp: 1, Samples: 1}}})
+	other := writeJSON(t, File{Benchmarks: map[string]Bench{"B": {NsPerOp: 1, Samples: 1}}})
+	if _, _, code := runTool(t, "", "-compare", base); code != exitUsage {
+		t.Errorf("one-arg compare: code %d", code)
+	}
+	if _, _, code := runTool(t, "", "-compare", base, filepath.Join(t.TempDir(), "nope.json")); code != exitUsage {
+		t.Errorf("missing file: code %d", code)
+	}
+	if _, errOut, code := runTool(t, "", "-compare", base, other); code != exitUsage || !strings.Contains(errOut, "no benchmarks in common") {
+		t.Errorf("disjoint files: code %d err %q", code, errOut)
+	}
+}
+
+func TestConvertEmptyInput(t *testing.T) {
+	out, _, code := runTool(t, "PASS\nok  \tdxbsp\t1.0s\n")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	var f File
+	if err := json.Unmarshal([]byte(out), &f); err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 0 {
+		t.Errorf("benchmarks parsed from empty input: %v", f.Benchmarks)
+	}
+}

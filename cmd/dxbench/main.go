@@ -18,6 +18,9 @@
 //	dxbench -chaos error=0.1 # deterministic fault injection (chaos testing)
 //	dxbench -checkpoint DIR  # journal results for crash-safe resume
 //	dxbench -checkpoint DIR -resume  # resume from a prior journal
+//	dxbench -cpuprofile cpu.pprof    # CPU profile of the run (go tool pprof)
+//	dxbench -memprofile mem.pprof    # heap profile written at exit
+//	dxbench -trace trace.out         # execution trace (go tool trace)
 //
 // Experiments fan out over a worker pool; output is byte-identical for
 // every -parallel value, because results are assembled in sweep order and
@@ -39,6 +42,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"time"
 
 	"dxbsp/internal/experiments"
@@ -78,6 +84,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nocache  = fs.Bool("nocache", false, "disable the memoized simulation cache")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0: no limit)")
 
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file at exit")
+		traceFile  = fs.String("trace", "", "write a runtime execution trace to this file")
+
 		retries    = fs.Int("retries", 2, "retries per point for transient failures")
 		pointLimit = fs.Duration("point-timeout", 0, "deadline per point attempt (0: no limit)")
 		chaos      = fs.String("chaos", "", "inject deterministic faults: a rate (\"0.1\") or k=v pairs (panic/error/delay/cancel/corrupt/seed/maxdelay/repeat)")
@@ -98,6 +108,50 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *checkpoint != "" && *nocache {
 		fmt.Fprintln(stderr, "dxbench: -checkpoint requires the cache; drop -nocache")
 		return exitHard
+	}
+
+	// Profiling hooks: these observe the real experiment mix (runner fan-
+	// out, cache, simulator), which microbenches cannot. All three finish
+	// via defers, so every return path below yields loadable files.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		defer f.Close()
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		defer trace.Stop()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		defer func() {
+			runtime.GC() // materialize the retained heap before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(stderr, "dxbench: writing heap profile: %v\n", err)
+			}
+			f.Close()
+		}()
 	}
 
 	if *list {

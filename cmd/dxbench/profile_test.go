@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// The profiling flags must produce non-empty files in the formats the Go
+// toolchain consumes: pprof profiles are gzipped protobufs (magic
+// 0x1f 0x8b), execution traces start with "go 1.".
+func TestRunCPUProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	_, errOut, code := runBench(t, "-quick", "-experiment", "T1", "-cpuprofile", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	assertGzipFile(t, path)
+}
+
+func TestRunMemProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	_, errOut, code := runBench(t, "-quick", "-experiment", "T1", "-memprofile", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	assertGzipFile(t, path)
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.out")
+	_, errOut, code := runBench(t, "-quick", "-experiment", "T1", "-trace", path)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(data, []byte("go 1.")) {
+		t.Errorf("trace file does not start with a Go trace header: %q", data[:min(16, len(data))])
+	}
+}
+
+func TestRunProfileBadPath(t *testing.T) {
+	dir := t.TempDir()
+	for _, flag := range []string{"-cpuprofile", "-memprofile", "-trace"} {
+		_, errOut, code := runBench(t, "-quick", "-experiment", "T1", flag, filepath.Join(dir, "missing", "x"))
+		if code != 1 {
+			t.Errorf("%s into missing dir: code=%d err=%q", flag, code, errOut)
+		}
+	}
+}
+
+func assertGzipFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		head := data
+		if len(head) > 8 {
+			head = head[:8]
+		}
+		t.Errorf("%s is not a gzipped pprof profile (starts %x)", filepath.Base(path), head)
+	}
+}
+
+// Profiling composes with the rest of the flag surface (parallel run,
+// events, timing) without perturbing the experiment output.
+func TestRunCPUProfileOutputUnchanged(t *testing.T) {
+	plain, _, code := runBench(t, "-quick", "-experiment", "F3")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	profiled, _, code := runBench(t, "-quick", "-experiment", "F3",
+		"-cpuprofile", filepath.Join(t.TempDir(), "cpu.pprof"), "-timing")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	if !strings.HasPrefix(profiled, plain) {
+		t.Error("-cpuprofile changed the experiment output")
+	}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"testing"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/patterns"
+	"dxbsp/internal/rng"
+)
+
+// Regression test for the event loop's steady-state allocation behavior.
+//
+// Two historical bugs are pinned here. First, the pre-ring-buffer server
+// dequeued with `s.queue = s.queue[1:]`, which both prevented the backing
+// array from ever being reused (every enqueue after a dequeue grew a new
+// tail) and pinned the full backing array for the life of the run.
+// Second, container/heap boxed every pushed event into an interface{},
+// costing one allocation per simulated event. With both fixed, the number
+// of allocations per run is dominated by setup (O(procs + banks)) and
+// must NOT scale with the number of requests: an 8x bigger pattern may
+// only add the logarithmic handful of amortized ring/heap growths.
+func TestEventLoopSteadyStateAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement under -short")
+	}
+	m := core.J90()
+	mk := func(n int) core.Pattern {
+		return core.NewPattern(patterns.Uniform(n, 1<<30, rng.New(7)), m.Procs)
+	}
+	measure := func(pt core.Pattern, cfg Config) float64 {
+		return testing.AllocsPerRun(5, func() {
+			if _, err := Run(cfg, pt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	small, big := mk(1<<11), mk(1<<14)
+
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"open-loop", Config{Machine: m}},
+		{"windowed", Config{Machine: m, Window: 8}},
+	} {
+		aSmall := measure(small, tc.cfg)
+		aBig := measure(big, tc.cfg)
+		// Slack covers amortized doubling of the event queue and of the
+		// per-bank rings between the two sizes; per-event allocations
+		// would show up as thousands.
+		if aBig > aSmall+64 {
+			t.Errorf("%s: allocs grew with pattern size: %.0f at n=2^11 vs %.0f at n=2^14 (event loop is allocating per event)",
+				tc.name, aSmall, aBig)
+		}
+		t.Logf("%s: %.0f allocs at n=2^11, %.0f at n=2^14", tc.name, aSmall, aBig)
+	}
+}

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/rng"
+)
+
+// FuzzSimVsReference is the differential property test behind the engine
+// rewrite: the event-driven engine and the independent time-stepped
+// RunReference oracle must agree exactly — cycle for cycle — on every
+// configuration in the oracle's supported subset (open loop, no
+// combining, no sections, no bank cache, integral G/D/NetDelay), over
+// randomized machine shapes and both uniform and conflict-heavy address
+// patterns.
+//
+// Under `go test` the seed corpus runs as a regression suite; under
+// `go test -fuzz FuzzSimVsReference ./internal/sim/` the mutator explores
+// the (p, x, d, g, NetDelay, pattern) space.
+func FuzzSimVsReference(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(7), uint8(4), uint8(0), uint8(3), uint16(200), uint8(0))
+	f.Add(uint64(2), uint8(0), uint8(0), uint8(0), uint8(1), uint8(0), uint16(1), uint8(1))
+	f.Add(uint64(3), uint8(7), uint8(15), uint8(11), uint8(3), uint8(15), uint16(999), uint8(2))
+	f.Add(uint64(4), uint8(1), uint8(2), uint8(5), uint8(2), uint8(8), uint16(500), uint8(1))
+	f.Add(uint64(5), uint8(5), uint8(1), uint8(1), uint8(0), uint8(0), uint16(333), uint8(2))
+
+	f.Fuzz(func(t *testing.T, seed uint64, pRaw, xRaw, dRaw, gRaw, ndRaw uint8, nRaw uint16, shape uint8) {
+		p := int(pRaw%8) + 1
+		banks := p * (int(xRaw%16) + 1)
+		d := float64(dRaw%12 + 1)
+		g := float64(gRaw%4 + 1)
+		nd := float64(ndRaw % 16)
+		// L = 2*NetDelay keeps the explicit NetDelay and the Normalize
+		// default (L/2) consistent, and keeps it integral for the oracle.
+		m := core.Machine{Name: "fuzz", Procs: p, Banks: banks, D: d, G: g, L: 2 * nd}
+		n := int(nRaw%1000) + 1
+
+		rg := rng.New(seed)
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			switch shape % 3 {
+			case 0: // uniform over a range much wider than the banks
+				addrs[i] = rg.Uint64n(1 << 20)
+			case 1: // conflict-heavy: a handful of hot locations
+				addrs[i] = rg.Uint64n(uint64(banks)/4 + 1)
+			default: // bank-bursty: long runs on one bank
+				addrs[i] = uint64(banks) * uint64(i/8)
+			}
+		}
+		pt := core.NewPattern(addrs, p)
+		cfg := Config{Machine: m, NetDelay: nd}
+
+		ev, err := Run(cfg, pt)
+		if err != nil {
+			t.Fatalf("engine: %v", err)
+		}
+		ref, err := RunReference(cfg, pt)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		if ev.Cycles != ref.Cycles {
+			t.Errorf("p=%d banks=%d d=%g g=%g nd=%g n=%d shape=%d: engine %v cycles, reference %v",
+				p, banks, d, g, nd, n, shape%3, ev.Cycles, ref.Cycles)
+		}
+		if ev.BankServices != ref.BankServices || ev.BankBusy != ref.BankBusy || ev.Requests != ref.Requests {
+			t.Errorf("p=%d banks=%d d=%g g=%g nd=%g n=%d shape=%d: accounting mismatch: engine %+v vs reference %+v",
+				p, banks, d, g, nd, n, shape%3, ev, ref)
+		}
+	})
+}

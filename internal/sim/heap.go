@@ -1,0 +1,95 @@
+package sim
+
+// eventQueue is the engine's pending-event set: a monomorphic 4-ary
+// min-heap over concrete event values, ordered by (time, kind, seq).
+//
+// It replaces container/heap, which costs an interface{} boxing
+// allocation on every Push and an interface unbox on every Pop — on the
+// hot path that was one allocation per simulated event. The ordering key
+// is a strict total order (every event has a distinct (kind, seq) pair:
+// seq identifies a request or an injection slot, and each request
+// produces at most one event of each kind), so ANY correct heap pops
+// events in exactly the same sequence and the simulation stays
+// byte-identical across heap implementations. This invariant is load-
+// bearing: the runner's memo cache and checkpoint journal key on the
+// simulated cycle counts. See DESIGN.md §9.
+//
+// 4-ary beats binary here: events are wide (48 bytes), so sift-down
+// comparisons are cache-resident within a node's children and the tree
+// is half as deep, trading a few extra comparisons for fewer swaps of
+// wide values.
+type eventQueue struct {
+	ev []event
+}
+
+// init preallocates capacity so that a steady-state run performs no heap
+// growth. Exceeding the hint is not an error — push grows the backing
+// array by amortized doubling.
+func (q *eventQueue) init(capacity int) {
+	if capacity < 0 {
+		capacity = 0
+	}
+	q.ev = make([]event, 0, capacity)
+}
+
+func (q *eventQueue) len() int { return len(q.ev) }
+
+// eventLess is the (time, kind, seq) ordering shared by every event
+// structure in the engine. Do not reorder the tie-breaks: kind before
+// seq makes a bank's completion visible before the arrival that would
+// queue behind it at the same instant, which is what makes the engine
+// agree with the time-stepped RunReference oracle.
+func eventLess(a, b *event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
+}
+
+// push inserts e, sifting up.
+func (q *eventQueue) push(e event) {
+	q.ev = append(q.ev, e)
+	i := len(q.ev) - 1
+	for i > 0 {
+		parent := (i - 1) >> 2
+		if !eventLess(&q.ev[i], &q.ev[parent]) {
+			break
+		}
+		q.ev[i], q.ev[parent] = q.ev[parent], q.ev[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the minimum event. Call only when len() > 0.
+func (q *eventQueue) pop() event {
+	top := q.ev[0]
+	last := len(q.ev) - 1
+	q.ev[0] = q.ev[last]
+	q.ev = q.ev[:last]
+	i := 0
+	for {
+		first := i<<2 + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if eventLess(&q.ev[c], &q.ev[min]) {
+				min = c
+			}
+		}
+		if !eventLess(&q.ev[min], &q.ev[i]) {
+			break
+		}
+		q.ev[i], q.ev[min] = q.ev[min], q.ev[i]
+		i = min
+	}
+	return top
+}

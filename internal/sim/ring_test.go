@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"testing"
+
+	"dxbsp/internal/rng"
+)
+
+func TestServerRingFIFO(t *testing.T) {
+	var s server
+	if _, ok := s.dequeue(); ok {
+		t.Fatal("dequeue on empty server succeeded")
+	}
+	for i := 0; i < 100; i++ {
+		s.enqueue(request{seq: i})
+	}
+	if s.maxQ != 100 {
+		t.Errorf("maxQ = %d, want 100", s.maxQ)
+	}
+	for i := 0; i < 100; i++ {
+		r, ok := s.dequeue()
+		if !ok || r.seq != i {
+			t.Fatalf("dequeue %d = %+v, %v", i, r, ok)
+		}
+	}
+	if _, ok := s.dequeue(); ok {
+		t.Fatal("dequeue on drained server succeeded")
+	}
+}
+
+// The ring must survive arbitrary interleavings of enqueue and dequeue,
+// including wrap-around, and agree with a plain slice model.
+func TestServerRingMatchesSliceModel(t *testing.T) {
+	g := rng.New(7)
+	var s server
+	var model []request
+	seq := 0
+	for step := 0; step < 20000; step++ {
+		if len(model) == 0 || g.Intn(2) == 0 {
+			seq++
+			r := request{seq: seq, addr: g.Uint64n(8)}
+			s.enqueue(r)
+			model = append(model, r)
+		} else {
+			got, ok := s.dequeue()
+			if !ok {
+				t.Fatalf("step %d: dequeue failed with %d queued", step, len(model))
+			}
+			if got != model[0] {
+				t.Fatalf("step %d: dequeue = %+v, want %+v", step, got, model[0])
+			}
+			model = model[1:]
+		}
+		if s.qlen() != len(model) {
+			t.Fatalf("step %d: qlen = %d, model %d", step, s.qlen(), len(model))
+		}
+	}
+}
+
+func TestServerExtractAddrPreservesOrder(t *testing.T) {
+	var s server
+	// Force a wrapped ring: fill, drain halfway, refill.
+	for i := 0; i < 6; i++ {
+		s.enqueue(request{seq: i, addr: uint64(i % 2)})
+	}
+	for i := 0; i < 3; i++ {
+		s.dequeue()
+	}
+	for i := 6; i < 12; i++ {
+		s.enqueue(request{seq: i, addr: uint64(i % 2)})
+	}
+	// Queue now holds seqs 3..11; extract the odd-address ones.
+	out := s.extractAddr(1, nil)
+	wantOut := []int{3, 5, 7, 9, 11}
+	if len(out) != len(wantOut) {
+		t.Fatalf("extracted %d requests, want %d", len(out), len(wantOut))
+	}
+	for i, r := range out {
+		if r.seq != wantOut[i] {
+			t.Errorf("extracted[%d].seq = %d, want %d", i, r.seq, wantOut[i])
+		}
+	}
+	wantKept := []int{4, 6, 8, 10}
+	for i, want := range wantKept {
+		r, ok := s.dequeue()
+		if !ok || r.seq != want {
+			t.Errorf("kept[%d] = %+v (ok=%v), want seq %d", i, r, ok, want)
+		}
+	}
+	if s.qlen() != 0 {
+		t.Errorf("queue not drained: %d left", s.qlen())
+	}
+}
+
+func TestServerExtractAddrEmptyAndMiss(t *testing.T) {
+	var s server
+	if out := s.extractAddr(1, nil); len(out) != 0 {
+		t.Errorf("extract from empty = %d", len(out))
+	}
+	s.enqueue(request{seq: 1, addr: 5})
+	if out := s.extractAddr(99, nil); len(out) != 0 || s.qlen() != 1 {
+		t.Errorf("miss changed queue: out=%d qlen=%d", len(out), s.qlen())
+	}
+}
