@@ -21,6 +21,7 @@ import (
 	"dxbsp/internal/patterns"
 	"dxbsp/internal/qrqw"
 	"dxbsp/internal/rng"
+	"dxbsp/internal/runner"
 	"dxbsp/internal/sim"
 	"dxbsp/internal/vector"
 )
@@ -200,6 +201,24 @@ func BenchmarkSimScatter64KWindowed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := sim.Run(sim.Config{Machine: m, Window: 8}, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimScatter64KProbed is BenchmarkSimScatter64K with the
+// runner's metrics observer attached, so BENCH_sim.json tracks the
+// probes-ON overhead (per-run collector allocation plus one hook call
+// per queue event) next to the probes-off baseline, whose allocs/op must
+// stay at the no-probe number.
+func BenchmarkSimScatter64KProbed(b *testing.B) {
+	m := core.J90()
+	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(2)), m.Procs)
+	obs := runner.NewObserver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{Machine: m, Probe: obs}, pt); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -18,6 +18,8 @@
 //	dxbench -chaos error=0.1 # deterministic fault injection (chaos testing)
 //	dxbench -checkpoint DIR  # journal results for crash-safe resume
 //	dxbench -checkpoint DIR -resume  # resume from a prior journal
+//	dxbench -metrics         # append bank heatmap + metric series report
+//	dxbench -metrics-out m.json      # export metrics (JSON; .om/.txt: OpenMetrics)
 //	dxbench -cpuprofile cpu.pprof    # CPU profile of the run (go tool pprof)
 //	dxbench -memprofile mem.pprof    # heap profile written at exit
 //	dxbench -trace trace.out         # execution trace (go tool trace)
@@ -26,7 +28,10 @@
 // every -parallel value, because results are assembled in sweep order and
 // all shared random draws happen before the fan-out. A content-keyed cache
 // (disable with -nocache) executes each distinct simulation once per run,
-// even when several sweeps share a baseline.
+// even when several sweeps share a baseline. The same contract covers
+// -metrics and -metrics-out: the exported series are a pure function of
+// the set of distinct simulations, so they too are byte-identical across
+// worker counts, cache settings, and surviving transient -chaos faults.
 //
 // The run is resilient: a point that panics or keeps failing is rendered
 // as a footnoted FAILED cell and the suite continues. Exit codes: 0 means
@@ -93,6 +98,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		chaos      = fs.String("chaos", "", "inject deterministic faults: a rate (\"0.1\") or k=v pairs (panic/error/delay/cancel/corrupt/seed/maxdelay/repeat)")
 		checkpoint = fs.String("checkpoint", "", "journal completed simulations to this directory")
 		resume     = fs.Bool("resume", false, "reuse results from an existing -checkpoint journal")
+
+		showMetrics = fs.Bool("metrics", false, "append an observability report: bank heatmap, metric series, cycle summary")
+		metricsOut  = fs.String("metrics-out", "", "export metric series to this file (.json: JSON, otherwise OpenMetrics text)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitHard
@@ -193,6 +201,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*nocache {
 		r.Cache = runner.NewCache()
 	}
+	var obs *runner.Observer
+	if *showMetrics || *metricsOut != "" {
+		obs = runner.NewObserver()
+		r.Metrics = obs
+	}
 	if *progress {
 		r.Progress = stderr
 	}
@@ -277,15 +290,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if r.Cache != nil {
 		cs := r.Cache.Stats()
 		summary.CacheHits, summary.CacheMisses, summary.CacheBypassed = cs.Hits, cs.Misses, cs.Bypassed
+		if obs != nil {
+			obs.ObserveCache(cs)
+		}
 		if r.Cache.Journal != nil {
 			js := r.Cache.Journal.Stats()
 			summary.CheckpointEntries, summary.CheckpointSkipped = js.Loaded, js.Skipped
 			summary.CheckpointRestored, summary.CheckpointAppended = js.Restored, js.Appended
+			if obs != nil {
+				obs.ObserveJournal(js)
+			}
 		}
 	}
 	r.Events.Emit(summary)
+	if *showMetrics {
+		fmt.Fprintln(stdout)
+		if err := obs.WriteReport(stdout); err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+	}
+	if *metricsOut != "" {
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		werr := obs.ExportFile(f, *metricsOut)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "dxbench: writing %s: %v\n", *metricsOut, werr)
+			return exitHard
+		}
+	}
 	if *timing {
 		printSummary(stderr, r, results)
+		if obs != nil {
+			obs.WritePointLatency(stderr)
+		}
 	}
 	if injector != nil && *timing {
 		fmt.Fprintf(stderr, "  faults injected: %s\n", injector.Stats())

@@ -25,6 +25,7 @@ import (
 	"dxbsp/internal/hashfn"
 	"dxbsp/internal/patterns"
 	"dxbsp/internal/rng"
+	"dxbsp/internal/runner"
 	"dxbsp/internal/sim"
 	"dxbsp/internal/stats"
 )
@@ -43,6 +44,7 @@ func main() {
 		sections = flag.Bool("sections", false, "model network section bandwidth")
 		window   = flag.Int("window", 0, "max outstanding requests per processor (0 = unlimited)")
 		zipfS    = flag.Float64("s", 1.1, "Zipf exponent for -pattern zipf")
+		metricsF = flag.Bool("metrics", false, "append the observability report: bank heatmap + metric series")
 	)
 	flag.Parse()
 
@@ -94,9 +96,13 @@ func main() {
 
 	pt := core.NewPattern(addrs, mach.Procs)
 	prof := core.ComputeProfile(pt, bm)
-	r, err := sim.Run(sim.Config{
-		Machine: mach, BankMap: bm, UseSections: *sections, Window: *window,
-	}, pt)
+	var obs *runner.Observer
+	cfg := sim.Config{Machine: mach, BankMap: bm, UseSections: *sections, Window: *window}
+	if *metricsF {
+		obs = runner.NewObserver()
+		cfg.Probe = obs
+	}
+	r, err := sim.Run(cfg, pt)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -128,6 +134,12 @@ func main() {
 		r.MaxBankServed, r.MaxBankQueue, r.BankBusy)
 	if *sections {
 		fmt.Printf("sections   max queue=%d\n", r.MaxSectionQueue)
+	}
+	if obs != nil {
+		fmt.Println()
+		if err := obs.WriteReport(os.Stdout); err != nil {
+			fail("%v", err)
+		}
 	}
 }
 

@@ -1,0 +1,210 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file renders snapshots in two machine-readable shapes: OpenMetrics
+// text (the Prometheus exposition superset) and JSON lines-of-series.
+// Both emit samples in snapshot order (sorted by series id) and format
+// floats with one shared routine, so equal snapshots produce equal bytes.
+
+// FormatValue renders a float the way both exporters do: shortest
+// round-trippable decimal, with the OpenMetrics spellings of the
+// non-finite values.
+func FormatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeLabelValue escapes a label value for OpenMetrics: backslash,
+// double quote and newline have escape sequences; everything else passes
+// through (the format is UTF-8).
+func escapeLabelValue(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP text: backslash and newline only (quotes are
+// legal in help strings).
+func escapeHelp(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// SanitizeName maps an arbitrary string onto the OpenMetrics metric-name
+// alphabet [a-zA-Z_:][a-zA-Z0-9_:]*; invalid runes become '_' and an
+// empty or digit-led name gains a '_' prefix.
+func SanitizeName(s string) string {
+	var b strings.Builder
+	for i, r := range s {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			if i == 0 && r >= '0' && r <= '9' {
+				b.WriteByte('_')
+			}
+			r = '_'
+		}
+		b.WriteRune(r)
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// labelBlock renders {k="v",...} with extra appended last, or "" when
+// there is nothing to render.
+func labelBlock(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	parts := make([]string, len(all))
+	for i, l := range all {
+		parts[i] = SanitizeName(l.Key) + `="` + escapeLabelValue(l.Value) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// WriteOpenMetrics renders the samples as OpenMetrics text, ending with
+// the mandatory "# EOF" terminator. Series of the same family (equal
+// names, differing labels) share one HELP/TYPE header.
+func WriteOpenMetrics(w io.Writer, samples []Sample) error {
+	var b strings.Builder
+	lastFamily := ""
+	for _, s := range samples {
+		name := SanitizeName(s.Name)
+		if name != lastFamily {
+			fmt.Fprintf(&b, "# HELP %s %s\n", name, escapeHelp(s.Help))
+			fmt.Fprintf(&b, "# TYPE %s %s\n", name, s.Kind)
+			lastFamily = name
+		}
+		switch s.Kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "%s_total%s %s\n", name, labelBlock(s.Labels), FormatValue(s.Value))
+		case KindGauge:
+			fmt.Fprintf(&b, "%s%s %s\n", name, labelBlock(s.Labels), FormatValue(s.Value))
+		case KindHistogram:
+			cum := uint64(0)
+			for i, c := range s.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = FormatValue(s.Bounds[i])
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", name, labelBlock(s.Labels, Label{"le", le}), cum)
+			}
+			fmt.Fprintf(&b, "%s_sum%s %s\n", name, labelBlock(s.Labels), FormatValue(s.Sum))
+			fmt.Fprintf(&b, "%s_count%s %d\n", name, labelBlock(s.Labels), s.Count)
+		}
+	}
+	b.WriteString("# EOF\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the samples as one JSON document. The document is
+// assembled by hand rather than encoding/json so that (a) series order is
+// the deterministic snapshot order, and (b) ±Inf and NaN — which JSON
+// number syntax cannot express — render as the same strings the
+// OpenMetrics exporter uses.
+func WriteJSON(w io.Writer, samples []Sample) error {
+	var b strings.Builder
+	b.WriteString("{\n  \"metrics\": [")
+	for i, s := range samples {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString("\n    {")
+		fmt.Fprintf(&b, "\"name\": %s, \"kind\": %s", jsonString(s.Name), jsonString(s.Kind.String()))
+		if len(s.Labels) > 0 {
+			b.WriteString(", \"labels\": {")
+			for j, l := range s.Labels {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(&b, "%s: %s", jsonString(l.Key), jsonString(l.Value))
+			}
+			b.WriteString("}")
+		}
+		switch s.Kind {
+		case KindCounter, KindGauge:
+			fmt.Fprintf(&b, ", \"value\": %s", jsonNumber(s.Value))
+		case KindHistogram:
+			b.WriteString(", \"buckets\": [")
+			for j, c := range s.Buckets {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				le := "+Inf"
+				if j < len(s.Bounds) {
+					le = FormatValue(s.Bounds[j])
+				}
+				fmt.Fprintf(&b, "{\"le\": %q, \"count\": %d}", le, c)
+			}
+			fmt.Fprintf(&b, "], \"sum\": %s, \"count\": %d", jsonNumber(s.Sum), s.Count)
+		}
+		b.WriteString("}")
+	}
+	b.WriteString("\n  ]\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonNumber renders v as a JSON number, or as a quoted string for the
+// non-finite values JSON cannot express.
+func jsonNumber(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return `"` + FormatValue(v) + `"`
+	}
+	return FormatValue(v)
+}
+
+// jsonString renders s as a JSON string literal. Go's %q is not JSON
+// (it emits \x escapes for control bytes and invalid UTF-8), so this
+// routes through encoding/json, which replaces invalid UTF-8 with U+FFFD
+// and uses \u escapes.
+func jsonString(s string) string {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		return `""`
+	}
+	return string(b)
+}

@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzOpenMetricsEncoder throws arbitrary metric names, label pairs and
+// values (including ±Inf and NaN via bit patterns) at the exporters and
+// checks the structural invariants the consumers rely on:
+//
+//   - every exposition line is either a comment or `name[{labels}] value`
+//     with a parseable value and balanced, properly escaped quotes;
+//   - label values round-trip through the escaper;
+//   - the text ends with the mandatory "# EOF";
+//   - the JSON exporter's output is valid JSON for the same snapshot.
+func FuzzOpenMetricsEncoder(f *testing.F) {
+	f.Add("req_total", "component", "bank", 1.5)
+	f.Add("weird name", "k", `quote"backslash\`, math.Inf(1))
+	f.Add("", "", "newline\nin label", math.Inf(-1))
+	f.Add("0digit", "le", "+Inf", math.NaN())
+	f.Add("a:b", "k", "v,w=x", -0.0)
+	f.Add("h", "k", "\x00\xff", 1e308)
+
+	f.Fuzz(func(t *testing.T, name, lkey, lval string, value float64) {
+		r := NewRegistry()
+		r.Counter(name, "fuzzed help\nwith newline", WithLabels(Label{lkey, lval})).Add(value)
+		r.Gauge(name+"_g", "g").Set(value)
+		h := r.Histogram(name+"_h", "h", []float64{1, value})
+		h.Observe(value)
+		snap := r.Snapshot(false)
+
+		var om strings.Builder
+		if err := WriteOpenMetrics(&om, snap); err != nil {
+			t.Fatal(err)
+		}
+		checkExposition(t, om.String())
+
+		var js strings.Builder
+		if err := WriteJSON(&js, snap); err != nil {
+			t.Fatal(err)
+		}
+		var doc map[string]interface{}
+		if err := json.Unmarshal([]byte(js.String()), &doc); err != nil {
+			t.Fatalf("invalid JSON: %v\n%s", err, js.String())
+		}
+	})
+}
+
+// checkExposition validates the line grammar of an OpenMetrics text
+// exposition.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Fatalf("missing # EOF terminator:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if line == "" {
+			t.Fatalf("empty line in exposition:\n%s", out)
+		}
+		if strings.HasPrefix(line, "# ") {
+			continue
+		}
+		rest := line
+		if i := strings.IndexByte(rest, '{'); i >= 0 {
+			name := rest[:i]
+			checkMetricName(t, name, line)
+			body, ok := cutLabelBlock(rest[i:])
+			if !ok {
+				t.Fatalf("unbalanced label block in %q", line)
+			}
+			rest = body
+		} else {
+			sp := strings.IndexByte(rest, ' ')
+			if sp < 0 {
+				t.Fatalf("no value on line %q", line)
+			}
+			checkMetricName(t, rest[:sp], line)
+			rest = rest[sp:]
+		}
+		val := strings.TrimSpace(rest)
+		if _, err := strconv.ParseFloat(val, 64); err != nil {
+			// ParseFloat accepts +Inf/-Inf/NaN, so anything failing here
+			// is a genuinely malformed value (histogram counts parse as
+			// integers, which ParseFloat also accepts).
+			t.Fatalf("unparseable value %q on line %q: %v", val, line, err)
+		}
+	}
+}
+
+func checkMetricName(t *testing.T, name, line string) {
+	t.Helper()
+	if name == "" {
+		t.Fatalf("empty metric name on line %q", line)
+	}
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if !ok {
+			t.Fatalf("invalid rune %q in metric name %q (line %q)", r, name, line)
+		}
+	}
+}
+
+// cutLabelBlock consumes a {k="v",...} block (honoring escapes inside
+// quoted values) and returns what follows it.
+func cutLabelBlock(s string) (rest string, ok bool) {
+	if len(s) == 0 || s[0] != '{' {
+		return "", false
+	}
+	inQuotes := false
+	for i := 1; i < len(s); i++ {
+		c := s[i]
+		if inQuotes {
+			switch c {
+			case '\\':
+				i++ // skip escaped rune
+			case '"':
+				inQuotes = false
+			case '\n':
+				return "", false // raw newline inside a label value
+			}
+			continue
+		}
+		switch c {
+		case '"':
+			inQuotes = true
+		case '}':
+			return s[i+1:], true
+		}
+	}
+	return "", false
+}

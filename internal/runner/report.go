@@ -1,0 +1,61 @@
+package runner
+
+import (
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+
+	"dxbsp/internal/metrics"
+	"dxbsp/internal/stats"
+	"dxbsp/internal/tablefmt"
+)
+
+// WriteReport renders the human-facing observability report: the bank
+// occupancy heatmap, the deterministic metric series as OpenMetrics text,
+// and a per-run cycle summary footer. Everything here derives from
+// Snapshot(false)-class data, so the report is byte-identical for any
+// worker count and unaffected by cache state or transient faults.
+func (o *Observer) WriteReport(w io.Writer) error {
+	labels, rows := o.BankProfile()
+	hm := tablefmt.NewHeatmap("bank occupancy, all distinct simulations",
+		fmt.Sprintf("relative bank position (%d buckets)", posBuckets))
+	for i, l := range labels {
+		hm.AddRow(l, rows[i])
+	}
+	hm.Render(w)
+
+	fmt.Fprintln(w)
+	if err := metrics.WriteOpenMetrics(w, o.Snapshot(false)); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w)
+	writeSummaryLine(w, "sim cycles/run", o.CycleSummary())
+	return nil
+}
+
+// writeSummaryLine renders one stats.Summary as a single footer line,
+// using the exporters' float formatting so equal summaries are equal
+// bytes.
+func writeSummaryLine(w io.Writer, label string, s stats.Summary) {
+	f := metrics.FormatValue
+	fmt.Fprintf(w, "%s: n=%d min=%s p50=%s p90=%s p99=%s max=%s mean=%s\n",
+		label, s.N, f(s.Min), f(s.P50), f(s.P90), f(s.P99), f(s.Max), f(s.Mean))
+}
+
+// WritePointLatency renders the volatile point wall-time summary (for
+// -timing style human reporting; not deterministic).
+func (o *Observer) WritePointLatency(w io.Writer) {
+	writeSummaryLine(w, "  point seconds", o.PointLatencySummary())
+}
+
+// ExportFile writes the deterministic snapshot to w in the format implied
+// by the destination's file name: JSON for a .json extension, OpenMetrics
+// text otherwise.
+func (o *Observer) ExportFile(w io.Writer, name string) error {
+	if strings.EqualFold(filepath.Ext(name), ".json") {
+		return metrics.WriteJSON(w, o.Snapshot(false))
+	}
+	return metrics.WriteOpenMetrics(w, o.Snapshot(false))
+}

@@ -47,6 +47,12 @@ type Runner struct {
 	// Progress, when non-nil, receives human-readable one-line updates as
 	// points complete (typically stderr, so stdout stays parseable).
 	Progress io.Writer
+	// Metrics, when non-nil, collects telemetry: it is attached as a
+	// sim.Probe to every simulation issued through the experiment config
+	// (above the cache, so the probe rides through injector and cache
+	// without affecting cache identity) and receives runner-level
+	// observations as points and experiments complete.
+	Metrics *Observer
 
 	// Retry bounds re-execution of points whose failure is classified
 	// transient (IsTransient). The zero value disables retrying.
@@ -172,6 +178,9 @@ func (r *Runner) RunExperiment(ctx context.Context, e experiments.Experiment, cf
 	if r.Cache != nil && cfg.Sim == nil {
 		cfg.Sim = r.Cache
 	}
+	if r.Metrics != nil {
+		cfg.Sim = &probeRunner{next: cfg.Sim, probe: r.Metrics}
+	}
 	start := time.Now()
 
 	pts := e.Points(cfg)
@@ -217,6 +226,9 @@ func (r *Runner) RunExperiment(ctx context.Context, e experiments.Experiment, cf
 				res, attempts, perr := r.runPoint(ctx, e, cfg, p)
 				d := time.Since(t0)
 				localBusy += d
+				if r.Metrics != nil {
+					r.Metrics.ObservePoint(d)
+				}
 				mu.Lock()
 				retries += attempts - 1
 				mu.Unlock()
@@ -283,6 +295,9 @@ dispatch:
 	out := e.Assemble(cfg, results)
 	st := Stats{Points: len(pts), Workers: workers, Wall: time.Since(start), Busy: busy,
 		Retries: retries, Failed: len(failed)}
+	if r.Metrics != nil {
+		r.Metrics.ObserveExperiment(st)
+	}
 	r.Events.emit(Event{Type: "experiment_done", Experiment: e.ID, Points: st.Points, Workers: st.Workers,
 		DurationMS: float64(st.Wall) / float64(time.Millisecond), Utilization: st.Utilization(),
 		Failed: st.Failed})
@@ -303,6 +318,12 @@ func (r *Runner) RunAll(ctx context.Context, exps []experiments.Experiment, cfg 
 			return out, err
 		}
 		out = append(out, res)
+	}
+	if r.Metrics != nil && r.Cache != nil {
+		r.Metrics.ObserveCache(r.Cache.Stats())
+		if r.Cache.Journal != nil {
+			r.Metrics.ObserveJournal(r.Cache.Journal.Stats())
+		}
 	}
 	ev := Event{Type: "run_done", Points: totalPoints(out), Failed: totalFailed(out)}
 	if r.Cache != nil {

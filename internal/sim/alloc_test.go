@@ -55,3 +55,41 @@ func TestEventLoopSteadyStateAllocs(t *testing.T) {
 		t.Logf("%s: %.0f allocs at n=2^11, %.0f at n=2^14", tc.name, aSmall, aBig)
 	}
 }
+
+// TestProbesOffAllocBudget pins the absolute steady-state budget: with no
+// probe attached, a warm run performs exactly the 8 setup allocations the
+// allocation-free engine PR established (engine struct, proc/section/bank
+// slices, bankServe, ring slab, event queue backing, result path). The
+// observability hooks are nil-checked pointer tests, so probes-off must
+// not add a single allocation — if this fails after touching the hot
+// path, a hook site is allocating (closure capture, interface conversion,
+// fmt call) even when disabled.
+func TestProbesOffAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement under -short")
+	}
+	const budget = 8
+	m := core.J90()
+	pt := core.NewPattern(patterns.Uniform(1<<14, 1<<30, rng.New(7)), m.Procs)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"open-loop", Config{Machine: m}},
+		{"windowed", Config{Machine: m, Window: 8}},
+	} {
+		// One warm-up run is included in AllocsPerRun's own averaging;
+		// rings and the event queue reach their high-water marks on the
+		// first of the 10 runs, so growth is amortized below one alloc
+		// and the average floors at the per-run setup cost.
+		allocs := testing.AllocsPerRun(10, func() {
+			if _, err := Run(tc.cfg, pt); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs > budget {
+			t.Errorf("%s: %.1f allocs per probes-off run, budget is %d", tc.name, allocs, budget)
+		}
+		t.Logf("%s: %.1f allocs per run (budget %d)", tc.name, allocs, budget)
+	}
+}

@@ -68,6 +68,13 @@ type Config struct {
 	// BankRowShift is log2 of the row size in words: addresses sharing
 	// addr>>BankRowShift are in the same row. Defaults to 5 (32 words).
 	BankRowShift uint
+
+	// Probe, when non-nil, receives per-event observations of the run
+	// (see Probe). It is results-neutral by contract — attaching a probe
+	// never changes Result — and it is deliberately excluded from the
+	// runner's cache identity, which fingerprints the behavioral knobs
+	// field by field.
+	Probe Probe
 }
 
 // ConfigError reports an invalid simulation configuration. It names the
@@ -203,6 +210,7 @@ type procState struct {
 	next        int
 	outstanding int
 	blocked     bool
+	blockedAt   float64 // when the window block began (valid while blocked)
 	nextIssueAt float64
 	completed   int
 }
@@ -227,6 +235,11 @@ type engine struct {
 	openLoop        bool
 	banksPerSection int
 	combineScratch  []request // reused by startBank's combining pass
+
+	// rp is the per-run probe, nil for the (default) unobserved run.
+	// Every hook site is nil-checked, so probes-off costs one predictable
+	// branch per site and the steady state stays allocation-free.
+	rp RunProbe
 
 	res       Result
 	bankServe []int
@@ -276,6 +289,9 @@ func RunContext(ctx context.Context, cfg Config, pt core.Pattern) (Result, error
 // injection events.
 func newEngine(cfg Config, pt core.Pattern) *engine {
 	e := &engine{cfg: cfg, bm: cfg.BankMap, openLoop: cfg.Window == 0}
+	if cfg.Probe != nil {
+		e.rp = cfg.Probe.RunStart(cfg, pt)
+	}
 	if cfg.BankCacheLines > 0 {
 		e.bankRows = make([][]uint64, cfg.Machine.Banks)
 	}
@@ -353,6 +369,9 @@ func (e *engine) simulate(ctx context.Context) (Result, error) {
 			e.res.MaxSectionQueue = e.sections[i].maxQ
 		}
 	}
+	if e.rp != nil {
+		e.rp.RunDone(e.res)
+	}
 	return e.res, nil
 }
 
@@ -383,6 +402,7 @@ func (e *engine) inject(p int, now float64) {
 	}
 	if e.cfg.Window > 0 && ps.outstanding >= e.cfg.Window {
 		ps.blocked = true
+		ps.blockedAt = now
 		return
 	}
 	addr := ps.addrs[ps.next]
@@ -408,16 +428,22 @@ func (e *engine) inject(p int, now float64) {
 
 func (e *engine) arriveSection(sec int, req request, now float64) {
 	s := &e.sections[sec]
+	if e.rp != nil {
+		e.rp.SectionArrive(sec, now, s.qlen())
+	}
 	if s.busy {
 		s.enqueue(req)
 		return
 	}
-	e.startSection(sec, req, now)
+	e.startSection(sec, req, now, false)
 }
 
-func (e *engine) startSection(sec int, req request, now float64) {
+func (e *engine) startSection(sec int, req request, now float64, queued bool) {
 	s := &e.sections[sec]
 	s.busy = true
+	if e.rp != nil {
+		e.rp.SectionStart(sec, now, queued)
+	}
 	done := now + e.cfg.Machine.SectionGap
 	e.events.push(event{time: done, seq: req.seq, kind: evSectionDone, idx: sec,
 		proc: req.proc, addr: req.addr, bank: req.bank})
@@ -429,7 +455,7 @@ func (e *engine) sectionDone(sec int, req request, now float64) {
 		proc: req.proc, addr: req.addr, bank: req.bank})
 	s := &e.sections[sec]
 	if next, ok := s.dequeue(); ok {
-		e.startSection(sec, next, now)
+		e.startSection(sec, next, now, true)
 	} else {
 		s.busy = false
 	}
@@ -437,19 +463,24 @@ func (e *engine) sectionDone(sec int, req request, now float64) {
 
 func (e *engine) bankArrive(req request, now float64) {
 	b := &e.banks[req.bank]
+	if e.rp != nil {
+		e.rp.BankArrive(req.bank, now, b.qlen())
+	}
 	if b.busy {
 		b.enqueue(req)
 		return
 	}
-	e.startBank(req.bank, req, now)
+	e.startBank(req.bank, req, now, false)
 }
 
-func (e *engine) startBank(bank int, req request, now float64) {
+func (e *engine) startBank(bank int, req request, now float64, queued bool) {
 	b := &e.banks[bank]
 	b.busy = true
 	service := e.cfg.Machine.D
+	rowHit := false
 	if e.bankRows != nil && e.rowAccess(bank, req.addr) {
 		service = e.cfg.BankHitDelay
+		rowHit = true
 		e.res.RowHits++
 	}
 	done := now + service
@@ -459,13 +490,18 @@ func (e *engine) startBank(bank int, req request, now float64) {
 
 	// The request(s) complete at done; responses transit back.
 	e.respond(req, done)
+	combined := 0
 	if e.cfg.Combining {
 		// Serve every queued request for the same address in this service.
 		e.combineScratch = b.extractAddr(req.addr, e.combineScratch[:0])
+		combined = len(e.combineScratch)
 		for _, q := range e.combineScratch {
 			e.bankServe[bank]++
 			e.respond(q, done)
 		}
+	}
+	if e.rp != nil {
+		e.rp.BankStart(bank, now, service, rowHit, queued, combined)
 	}
 	e.events.push(event{time: done, seq: req.seq, kind: evBankDone, idx: bank})
 }
@@ -515,7 +551,7 @@ func (e *engine) rowAccess(bank int, addr uint64) bool {
 func (e *engine) bankDone(bank int, now float64) {
 	b := &e.banks[bank]
 	if next, ok := b.dequeue(); ok {
-		e.startBank(bank, next, now)
+		e.startBank(bank, next, now, true)
 	} else {
 		b.busy = false
 	}
@@ -530,6 +566,9 @@ func (e *engine) complete(p int, now float64) {
 	}
 	if ps.blocked {
 		ps.blocked = false
+		if e.rp != nil {
+			e.rp.WindowStall(p, ps.blockedAt, now)
+		}
 		t := now
 		if ps.nextIssueAt > t {
 			t = ps.nextIssueAt

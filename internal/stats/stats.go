@@ -47,7 +47,11 @@ func Summarize(xs []float64) Summary {
 }
 
 // Percentile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
-// sample using nearest-rank interpolation.
+// sample, linearly interpolating between the two closest order statistics
+// (the Hyndman–Fan type-7 definition, numpy's default): the result always
+// lies between sorted[floor(q·(n-1))] and sorted[ceil(q·(n-1))] and hits
+// the order statistic exactly when q·(n-1) is integral. q outside [0, 1]
+// clamps to the sample extremes.
 func Percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0
@@ -65,7 +69,18 @@ func Percentile(sorted []float64, q float64) float64 {
 		return sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	// a + (b-a)·frac rather than a·(1-frac) + b·frac: with b-a rounded
+	// once to a non-negative constant, the product and sum are monotone
+	// in frac, so Percentile is monotone in q. The symmetric form is not:
+	// its two oppositely-rounded terms can overshoot b by an ulp, making
+	// P99 exceed the sample maximum (caught by the order-statistic
+	// oracle). The clamp handles the one remaining rounding direction,
+	// fl(a + fl(b-a)) > b.
+	v := sorted[lo] + (sorted[hi]-sorted[lo])*frac
+	if v > sorted[hi] {
+		v = sorted[hi]
+	}
+	return v
 }
 
 // MaxInt returns the maximum of xs, or 0 for an empty slice.
@@ -114,24 +129,33 @@ type Histogram struct {
 }
 
 // NewHistogram builds a histogram of xs with nBins bins. Values outside
-// [min, max] are clamped to the first/last bin.
+// [min, max] (including ±Inf) are clamped to the first/last bin; NaN
+// values are dropped — the previous behavior funneled them through
+// int(NaN), whose result is platform-defined, so a stray NaN landed in an
+// arbitrary bin on some architectures and bin 0 on others.
 func NewHistogram(xs []float64, min, max float64, nBins int) Histogram {
 	if nBins <= 0 {
 		panic(fmt.Sprintf("stats: NewHistogram with nBins=%d", nBins))
 	}
 	h := Histogram{Min: min, Max: max, Counts: make([]int, nBins)}
-	if max <= min {
-		h.Counts[0] = len(xs)
-		return h
-	}
+	degenerate := !(max > min) // equal, inverted, or NaN bounds
 	w := (max - min) / float64(nBins)
 	for _, x := range xs {
-		b := int((x - min) / w)
-		if b < 0 {
-			b = 0
+		if math.IsNaN(x) {
+			continue
 		}
-		if b >= nBins {
+		if degenerate {
+			h.Counts[0]++
+			continue
+		}
+		// Clamp in float space before converting: int(f) for f outside
+		// the int range (±Inf, or a finite value magnitudes beyond the
+		// histogram span) is platform-defined in Go.
+		b := 0
+		if pos := (x - min) / w; pos >= float64(nBins) {
 			b = nBins - 1
+		} else if pos > 0 {
+			b = int(pos)
 		}
 		h.Counts[b]++
 	}

@@ -1,0 +1,113 @@
+package tablefmt
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Heatmap renders a dense row-by-column grid of non-negative intensities
+// as ASCII, one glyph per cell. dxbench uses it for the bank-occupancy
+// view: rows are quantities (requests served, busy cycles, queue
+// high-water mark), columns are relative bank positions, and each row is
+// normalized to its own maximum — the quantities have different units, so
+// cross-row shading would be meaningless. What the eye should compare
+// across rows is the *shape* (which banks are hot), not the magnitude;
+// magnitudes are printed per row.
+type Heatmap struct {
+	Title  string
+	XLabel string // meaning of the column axis
+
+	rows []heatRow
+	cols int
+}
+
+type heatRow struct {
+	label  string
+	values []float64
+}
+
+// heatRamp orders glyphs by visual weight; cell intensity indexes into it
+// after per-row normalization.
+const heatRamp = " .:-=+*#%@"
+
+// NewHeatmap returns an empty heatmap.
+func NewHeatmap(title, xLabel string) *Heatmap {
+	return &Heatmap{Title: title, XLabel: xLabel}
+}
+
+// AddRow appends one labeled row of cell intensities. Rows may have
+// different lengths; shorter rows render ragged.
+func (h *Heatmap) AddRow(label string, values []float64) {
+	h.rows = append(h.rows, heatRow{label: label, values: values})
+	if len(values) > h.cols {
+		h.cols = len(values)
+	}
+}
+
+// Render draws the heatmap. Each row shows its glyph strip bracketed by
+// pipes, followed by the row's maximum (the value an '@' cell stands
+// for). Negative and NaN cells render as the lowest glyph.
+func (h *Heatmap) Render(w io.Writer) {
+	if h.Title != "" {
+		fmt.Fprintf(w, "== %s ==\n", h.Title)
+	}
+	if len(h.rows) == 0 || h.cols == 0 {
+		fmt.Fprintln(w, "(no data)")
+		return
+	}
+	labelW := 0
+	for _, r := range h.rows {
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	for _, r := range h.rows {
+		max := 0.0
+		for _, v := range r.values {
+			if v > max { // NaN fails the comparison and is ignored
+				max = v
+			}
+		}
+		cells := make([]byte, len(r.values))
+		for i, v := range r.values {
+			cells[i] = heatGlyph(v, max)
+		}
+		fmt.Fprintf(w, "%s |%s| max=%s\n", padLeft(r.label, labelW), string(cells), formatFloat(max))
+	}
+	fmt.Fprintf(w, "%s  %s\n", strings.Repeat(" ", labelW), axisTicks(h.cols))
+	if h.XLabel != "" {
+		fmt.Fprintf(w, "%s  x: %s\n", strings.Repeat(" ", labelW), h.XLabel)
+	}
+	fmt.Fprintf(w, "%s  scale: %q low..high, per row\n", strings.Repeat(" ", labelW), heatRamp)
+}
+
+// heatGlyph maps v in [0, max] onto the ramp. A flat row (max == 0)
+// renders entirely as the lowest glyph.
+func heatGlyph(v, max float64) byte {
+	if !(v > 0) || max <= 0 { // v <= 0 or NaN
+		return heatRamp[0]
+	}
+	if v >= max { // also covers +Inf/+Inf, whose ratio would be NaN
+		return heatRamp[len(heatRamp)-1]
+	}
+	i := int(math.Ceil(v / max * float64(len(heatRamp)-1)))
+	if i < 1 {
+		i = 1 // any positive cell is visibly non-blank
+	}
+	if i >= len(heatRamp) {
+		i = len(heatRamp) - 1
+	}
+	return heatRamp[i]
+}
+
+// axisTicks draws a sparse 0-based column ruler: a "0" at the left edge
+// and the last column index at the right edge.
+func axisTicks(cols int) string {
+	last := fmt.Sprintf("%d", cols-1)
+	if cols <= len(last)+1 {
+		return "0"
+	}
+	return "0" + strings.Repeat(" ", cols-1-len(last)) + last
+}

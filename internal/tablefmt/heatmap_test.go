@@ -1,0 +1,103 @@
+package tablefmt
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHeatmapRender(t *testing.T) {
+	h := NewHeatmap("bank occupancy", "bank position")
+	h.AddRow("load", []float64{0, 1, 2, 4})
+	h.AddRow("busy", []float64{8, 8, 8, 8})
+	var b strings.Builder
+	h.Render(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"== bank occupancy ==",
+		"load |",
+		"busy |@@@@| max=8",
+		"x: bank position",
+		"scale:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The hottest cell of each row renders as the top glyph; a zero cell
+	// as the bottom glyph.
+	lines := strings.Split(out, "\n")
+	var loadLine string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "load") {
+			loadLine = l
+		}
+	}
+	cells := loadLine[strings.Index(loadLine, "|")+1 : strings.LastIndex(loadLine, "|")]
+	if len(cells) != 4 {
+		t.Fatalf("load row has %d cells, want 4: %q", len(cells), loadLine)
+	}
+	if cells[0] != ' ' {
+		t.Errorf("zero cell renders %q, want space", cells[0])
+	}
+	if cells[3] != '@' {
+		t.Errorf("max cell renders %q, want '@'", cells[3])
+	}
+	// Monotone values must render with non-decreasing glyph weight.
+	for i := 1; i < len(cells); i++ {
+		if strings.IndexByte(heatRamp, cells[i]) < strings.IndexByte(heatRamp, cells[i-1]) {
+			t.Errorf("glyph weight decreased across ascending values: %q", cells)
+		}
+	}
+}
+
+func TestHeatmapEmpty(t *testing.T) {
+	var b strings.Builder
+	NewHeatmap("t", "").Render(&b)
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Errorf("empty heatmap output: %q", b.String())
+	}
+}
+
+func TestHeatmapDegenerateCells(t *testing.T) {
+	h := NewHeatmap("", "")
+	h.AddRow("r", []float64{math.NaN(), -1, 0, math.Inf(1)})
+	var b strings.Builder
+	h.Render(&b)
+	out := b.String()
+	line := strings.SplitN(out, "\n", 2)[0]
+	cells := line[strings.Index(line, "|")+1 : strings.LastIndex(line, "|")]
+	// NaN, negative and zero all floor to the lowest glyph; +Inf is the
+	// row max and takes the top glyph.
+	if cells[0] != ' ' || cells[1] != ' ' || cells[2] != ' ' {
+		t.Errorf("degenerate cells not floored: %q", cells)
+	}
+	if cells[3] != '@' {
+		t.Errorf("+Inf cell renders %q, want '@'", cells[3])
+	}
+}
+
+func TestHeatmapFlatRow(t *testing.T) {
+	h := NewHeatmap("", "")
+	h.AddRow("flat", []float64{0, 0, 0})
+	var b strings.Builder
+	h.Render(&b)
+	if !strings.Contains(b.String(), "|   | max=0") {
+		t.Errorf("flat row render: %q", b.String())
+	}
+}
+
+func TestHeatmapDeterministic(t *testing.T) {
+	mk := func() string {
+		h := NewHeatmap("t", "x")
+		h.AddRow("a", []float64{1, 2, 3})
+		h.AddRow("b", []float64{3, 2, 1})
+		var b strings.Builder
+		h.Render(&b)
+		return b.String()
+	}
+	if mk() != mk() {
+		t.Error("heatmap render not deterministic")
+	}
+}
