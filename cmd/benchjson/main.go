@@ -17,6 +17,16 @@
 // head by more than threshold percent (default 15), printing a per-
 // benchmark delta table either way. Missing counters (no -benchmem) are
 // recorded as -1 and never compared.
+//
+// History mode records the perf trajectory across commits rather than
+// just the latest snapshot:
+//
+//	go test -bench Sim -benchmem -count 5 . | benchjson -history BENCH_history.json -commit $(git rev-parse --short HEAD)
+//
+// It parses benchmark output exactly like conversion, then appends a
+// dated, commit-tagged entry to the named history file (created if
+// missing). Re-running for the same commit replaces that commit's entry
+// instead of duplicating it, so a retried CI job stays idempotent.
 package main
 
 import (
@@ -30,6 +40,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
 const (
@@ -51,6 +62,18 @@ type File struct {
 	Benchmarks map[string]Bench `json:"benchmarks"`
 }
 
+// HistoryEntry is one commit's recorded benchmark medians.
+type HistoryEntry struct {
+	Date       string           `json:"date"`
+	Commit     string           `json:"commit"`
+	Benchmarks map[string]Bench `json:"benchmarks"`
+}
+
+// HistoryFile is the append-only perf trajectory document.
+type HistoryFile struct {
+	Entries []HistoryEntry `json:"entries"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }
@@ -61,6 +84,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	var (
 		compare   = fs.Bool("compare", false, "compare two JSON files: benchjson -compare base.json head.json")
 		threshold = fs.Float64("threshold", 15, "percent ns/op slowdown that fails -compare")
+		history   = fs.String("history", "", "append a dated, commit-tagged entry to this history file instead of emitting a snapshot")
+		commit    = fs.String("commit", "", "commit id recorded with -history (default \"unknown\")")
+		date      = fs.String("date", "", "date recorded with -history as YYYY-MM-DD (default today, UTC)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return exitUsage
@@ -72,28 +98,37 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		}
 		return runCompare(fs.Arg(0), fs.Arg(1), *threshold, stdout, stderr)
 	}
+	if *history != "" {
+		return runHistory(*history, *commit, *date, fs.Args(), stdin, stdout, stderr)
+	}
 	return runConvert(fs.Args(), stdin, stdout, stderr)
 }
 
-func runConvert(paths []string, stdin io.Reader, stdout, stderr io.Writer) int {
+// collect parses benchmark output from the named files (or stdin when
+// none) and reduces repeated runs to per-benchmark medians.
+func collect(paths []string, stdin io.Reader) (File, error) {
 	readers := []io.Reader{stdin}
+	closers := []io.Closer{}
+	defer func() {
+		for _, c := range closers {
+			c.Close()
+		}
+	}()
 	if len(paths) > 0 {
 		readers = readers[:0]
 		for _, p := range paths {
 			f, err := os.Open(p)
 			if err != nil {
-				fmt.Fprintf(stderr, "benchjson: %v\n", err)
-				return exitUsage
+				return File{}, err
 			}
-			defer f.Close()
+			closers = append(closers, f)
 			readers = append(readers, f)
 		}
 	}
 	samples := map[string][]Bench{}
 	for _, r := range readers {
 		if err := parseBenchOutput(r, samples); err != nil {
-			fmt.Fprintf(stderr, "benchjson: %v\n", err)
-			return exitUsage
+			return File{}, err
 		}
 	}
 	out := File{Benchmarks: map[string]Bench{}}
@@ -105,12 +140,85 @@ func runConvert(paths []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			Samples:     len(runs),
 		}
 	}
+	return out, nil
+}
+
+func runConvert(paths []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	out, err := collect(paths, stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintf(stderr, "benchjson: %v\n", err)
 		return exitUsage
 	}
+	return exitOK
+}
+
+// runHistory appends (or, for a repeated commit, replaces) one entry in
+// the perf-trajectory file. The file is created on first use; corrupt
+// history is an error rather than silently restarting the record.
+func runHistory(path, commit, date string, paths []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	snap, err := collect(paths, stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(stderr, "benchjson: -history: no benchmarks in input")
+		return exitUsage
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	if date == "" {
+		date = time.Now().UTC().Format("2006-01-02")
+	}
+
+	var hist HistoryFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &hist); err != nil {
+			fmt.Fprintf(stderr, "benchjson: %s: %v\n", path, err)
+			return exitUsage
+		}
+	} else if !os.IsNotExist(err) {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
+
+	entry := HistoryEntry{Date: date, Commit: commit, Benchmarks: snap.Benchmarks}
+	replaced := false
+	for i := range hist.Entries {
+		if hist.Entries[i].Commit == commit && commit != "unknown" {
+			hist.Entries[i] = entry
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		hist.Entries = append(hist.Entries, entry)
+	}
+
+	var buf strings.Builder
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(hist); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
+	if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return exitUsage
+	}
+	verb := "appended to"
+	if replaced {
+		verb = "replaced in"
+	}
+	fmt.Fprintf(stdout, "benchjson: %d benchmark(s) %s %s (%s, %s; %d entries)\n",
+		len(entry.Benchmarks), verb, path, date, commit, len(hist.Entries))
 	return exitOK
 }
 

@@ -154,3 +154,107 @@ func TestConvertEmptyInput(t *testing.T) {
 		t.Errorf("benchmarks parsed from empty input: %v", f.Benchmarks)
 	}
 }
+
+func readHistory(t *testing.T, path string) HistoryFile {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h HistoryFile
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestHistoryAppendAndReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_history.json")
+
+	// First entry creates the file.
+	out, errOut, code := runTool(t, sampleBench, "-history", path, "-commit", "aaa1111", "-date", "2026-08-01")
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	if !strings.Contains(out, "appended to") {
+		t.Errorf("first run output: %q", out)
+	}
+	h := readHistory(t, path)
+	if len(h.Entries) != 1 {
+		t.Fatalf("entries = %d, want 1", len(h.Entries))
+	}
+	e := h.Entries[0]
+	if e.Date != "2026-08-01" || e.Commit != "aaa1111" {
+		t.Errorf("entry tags = %q %q", e.Date, e.Commit)
+	}
+	if e.Benchmarks["TableT1"].NsPerOp != 19621 {
+		t.Errorf("entry medians not recorded: %+v", e.Benchmarks["TableT1"])
+	}
+
+	// A different commit appends.
+	if _, _, code := runTool(t, sampleBench, "-history", path, "-commit", "bbb2222", "-date", "2026-08-02"); code != 0 {
+		t.Fatalf("second append failed")
+	}
+	if h = readHistory(t, path); len(h.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(h.Entries))
+	}
+
+	// Re-running the same commit replaces its entry (idempotent CI retry).
+	out, _, code = runTool(t, sampleBench, "-history", path, "-commit", "bbb2222", "-date", "2026-08-03")
+	if code != 0 {
+		t.Fatalf("replace failed")
+	}
+	if !strings.Contains(out, "replaced in") {
+		t.Errorf("replace output: %q", out)
+	}
+	h = readHistory(t, path)
+	if len(h.Entries) != 2 {
+		t.Fatalf("entries after replace = %d, want 2", len(h.Entries))
+	}
+	if h.Entries[1].Date != "2026-08-03" {
+		t.Errorf("replaced entry date = %q", h.Entries[1].Date)
+	}
+	if h.Entries[0].Commit != "aaa1111" {
+		t.Errorf("earlier entry disturbed: %+v", h.Entries[0])
+	}
+}
+
+func TestHistoryDefaultsAndErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "hist.json")
+
+	// Defaults: commit "unknown", date filled in (format only checked).
+	if _, errOut, code := runTool(t, sampleBench, "-history", path); code != 0 {
+		t.Fatalf("defaults run failed: %s", errOut)
+	}
+	h := readHistory(t, path)
+	if h.Entries[0].Commit != "unknown" {
+		t.Errorf("default commit = %q", h.Entries[0].Commit)
+	}
+	if len(h.Entries[0].Date) != len("2006-01-02") {
+		t.Errorf("default date = %q", h.Entries[0].Date)
+	}
+
+	// Unknown commits never replace each other.
+	if _, _, code := runTool(t, sampleBench, "-history", path); code != 0 {
+		t.Fatal("second defaults run failed")
+	}
+	if h = readHistory(t, path); len(h.Entries) != 2 {
+		t.Errorf("unknown-commit entries = %d, want 2 (must append, not replace)", len(h.Entries))
+	}
+
+	// Empty input is an error, not an empty entry.
+	if _, errOut, code := runTool(t, "no benchmarks here", "-history", path); code == 0 {
+		t.Error("empty input accepted")
+	} else if !strings.Contains(errOut, "no benchmarks") {
+		t.Errorf("error output: %q", errOut)
+	}
+
+	// Corrupt history is an error, not a restart.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, code := runTool(t, sampleBench, "-history", bad); code == 0 {
+		t.Error("corrupt history accepted")
+	}
+}

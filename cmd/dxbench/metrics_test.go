@@ -150,6 +150,26 @@ func TestMetricsOutFormats(t *testing.T) {
 	}
 }
 
+// The extension match is case-insensitive: m.JSON (a DOS-shouting user,
+// or a file round-tripped through a case-normalizing filesystem) selects
+// the JSON format, not the OpenMetrics fallback.
+func TestMetricsOutExtensionCaseInsensitive(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"m.JSON", "m.Json"} {
+		path := filepath.Join(dir, name)
+		if _, _, code := runBench(t, "-quick", "-experiment", "T1", "-metrics-out", path); code != 0 {
+			t.Fatalf("%s export exit %d", name, code)
+		}
+		j, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.HasPrefix(string(j), "{") || !strings.Contains(string(j), `"metrics"`) {
+			t.Errorf("%s fell through to OpenMetrics:\n%.200s", name, j)
+		}
+	}
+}
+
 func TestMetricsOutBadPath(t *testing.T) {
 	_, errOut, code := runBench(t, "-quick", "-experiment", "T1",
 		"-metrics-out", filepath.Join(t.TempDir(), "no", "such", "dir", "m.om"))

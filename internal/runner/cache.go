@@ -91,7 +91,10 @@ func (c *Cache) Stats() CacheStats {
 }
 
 // downstream executes a request below the cache: the configured Next
-// runner (fault injector) or the simulator itself.
+// runner (fault injector) or the simulator itself. The sim.RunContext
+// terminal draws from sim's engine pool, so each cache miss re-arms a
+// retained engine rather than building one — in steady state a worker's
+// misses run allocation-free.
 func (c *Cache) downstream(ctx context.Context, cfg sim.Config, pt core.Pattern) (sim.Result, error) {
 	if c.Next != nil {
 		return c.Next.RunSim(ctx, cfg, pt)
@@ -169,18 +172,35 @@ func SimKey(cfg sim.Config, pt core.Pattern) (string, bool) {
 // cacheKey fingerprints one simulation request. The config is normalized
 // first so a default-valued knob and its explicit default produce the same
 // key. Returns ok=false when the bank map cannot be fingerprinted.
+//
+// The key is a config prefix plus a pattern digest, computed separately
+// because they have different costs: the prefix is a cheap Sprintf over
+// scalars, while the digest hashes every address in the pattern — so the
+// digest is memoized by slice identity (see digestMemo). Sweeps simulate
+// the same handful of patterns under hundreds of configs, and the
+// Observer recomputes the key on every RunDone; without the memo the
+// probed path would re-hash megabytes per run.
 func cacheKey(cfg sim.Config, pt core.Pattern) (string, bool) {
 	cfg = cfg.Normalize()
+	prefix, ok := configPrefix(cfg)
+	if !ok {
+		return "", false
+	}
+	return prefix + patDigests.digestOf(pt), true
+}
+
+// configPrefix fingerprints every behavioral knob of the normalized cfg.
+// Returns ok=false when the bank map cannot be fingerprinted.
+func configPrefix(cfg sim.Config) (string, bool) {
 	bmKey, ok := bankMapKey(cfg.BankMap)
 	if !ok {
 		return "", false
 	}
 	// Machine is all scalar fields, so %+v is a complete fingerprint.
-	return fmt.Sprintf("m=%+v|bm=%s|w=%d|comb=%t|nd=%g|sect=%t|bcl=%d|bhd=%g|brs=%d|pt=%s",
+	return fmt.Sprintf("m=%+v|bm=%s|w=%d|comb=%t|nd=%g|sect=%t|bcl=%d|bhd=%g|brs=%d|pt=",
 		cfg.Machine, bmKey,
 		cfg.Window, cfg.Combining, cfg.NetDelay, cfg.UseSections,
-		cfg.BankCacheLines, cfg.BankHitDelay, cfg.BankRowShift,
-		patternDigest(pt)), true
+		cfg.BankCacheLines, cfg.BankHitDelay, cfg.BankRowShift), true
 }
 
 func bankMapKey(bm core.BankMap) (string, bool) {
@@ -194,6 +214,70 @@ func bankMapKey(bm core.BankMap) (string, bool) {
 	default:
 		return "", false
 	}
+}
+
+// digestMemo caches recent pattern digests by slice identity. A pattern's
+// digest hashes its full address content, which is the dominant cost of
+// keying a run; but the suite simulates a small set of patterns over and
+// over (every sweep point, every RunDone commit), so identity — the same
+// per-processor slices, by pointer and length — almost always answers
+// before content hashing is needed.
+//
+// Correctness of the identity check rests on two facts. First, each memo
+// entry retains the pattern it fingerprinted, so the backing arrays stay
+// reachable and their addresses cannot be recycled for different content
+// while the entry lives. Second, callers of the cache already must not
+// mutate a pattern after submitting it — the cache fingerprints content
+// at submit time, so in-place mutation silently breaks memoization and
+// journaling with or without this memo. The entry table is small and
+// round-robin evicted: it bounds how many patterns the memo pins while
+// covering the handful a concurrent sweep has in flight.
+type digestMemo struct {
+	mu      sync.Mutex
+	entries [8]struct {
+		pt     core.Pattern
+		digest string
+	}
+	next int // round-robin eviction cursor
+}
+
+// patDigests is the process-wide digest memo, shared by the cache and
+// (via SimKey) the Observer's commit path.
+var patDigests digestMemo
+
+func (m *digestMemo) digestOf(pt core.Pattern) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range m.entries {
+		if samePatternIdentity(m.entries[i].pt, pt) {
+			return m.entries[i].digest
+		}
+	}
+	d := patternDigest(pt)
+	m.entries[m.next].pt = pt
+	m.entries[m.next].digest = d
+	m.next = (m.next + 1) % len(m.entries)
+	return d
+}
+
+// samePatternIdentity reports whether a and b are structurally the same
+// slices: the same processor count and, per processor, the same backing
+// pointer and length. Identity implies content equality under the
+// no-mutation-after-submit contract.
+func samePatternIdentity(a, b core.Pattern) bool {
+	if len(a.PerProc) != len(b.PerProc) || len(a.PerProc) == 0 {
+		return false
+	}
+	for i := range a.PerProc {
+		x, y := a.PerProc[i], b.PerProc[i]
+		if len(x) != len(y) {
+			return false
+		}
+		if len(x) > 0 && &x[0] != &y[0] {
+			return false
+		}
+	}
+	return true
 }
 
 // patternDigest hashes the full address content of a pattern (FNV-1a 64

@@ -42,6 +42,14 @@ type Observer struct {
 	contribs map[string]*contribution
 	unkeyed  uint64 // successful runs with no SimKey (custom bank map)
 
+	// collPool recycles per-run collectors: RunStart draws one and re-arms
+	// its retained arrival FIFOs in place, RunDone returns it after
+	// committing. A steady-state sweep therefore collects with ~0
+	// allocations per run (TestObserverProbedAllocBudget pins the probed
+	// end-to-end budget). Collectors abandoned by cancelled runs (RunDone
+	// never fires) are simply collected by the GC; the pool refills.
+	collPool sync.Pool
+
 	volMu       sync.Mutex
 	pointSecs   []float64
 	experiments int
@@ -84,12 +92,12 @@ func NewObserver() *Observer {
 // that accumulates locally (no locks on the hot path) and commits into
 // the observer at RunDone.
 func (o *Observer) RunStart(cfg sim.Config, pt core.Pattern) sim.RunProbe {
-	banks := cfg.Machine.Banks
-	return &runCollector{
-		o: o, cfg: cfg, pt: pt, banks: banks,
-		bankArr:  make([][]float64, banks),
-		bankHead: make([]int, banks),
+	rc, _ := o.collPool.Get().(*runCollector)
+	if rc == nil {
+		rc = &runCollector{}
 	}
+	rc.arm(o, cfg, pt)
+	return rc
 }
 
 // runCollector gathers one simulation run's events. It reconstructs
@@ -107,10 +115,52 @@ type runCollector struct {
 
 	bankArr  [][]float64 // per-bank FIFO of arrival times
 	bankHead []int
-	sectArr  [][]float64 // lazily sized: sections are few
+	sectArr  [][]float64 // per-section FIFO of arrival times
 	sectHead []int
 
 	c contribution
+}
+
+// arm readies a (possibly recycled) collector for one run. The arrival
+// FIFOs are re-armed over their full new extent — lengths back to zero,
+// capacities kept — so a reused collector allocates only when a station's
+// arrival stream outgrows every previous run's (amortized, then never).
+func (rc *runCollector) arm(o *Observer, cfg sim.Config, pt core.Pattern) {
+	rc.o, rc.cfg, rc.pt = o, cfg, pt
+	rc.banks = cfg.Machine.Banks
+	rc.c = contribution{}
+	rc.bankArr, rc.bankHead = armFIFOs(rc.bankArr, rc.bankHead, cfg.Machine.Banks)
+	nSections := 0
+	if cfg.UseSections && cfg.Machine.Sections > 1 {
+		nSections = cfg.Machine.Sections
+	}
+	rc.sectArr, rc.sectHead = armFIFOs(rc.sectArr, rc.sectHead, nSections)
+}
+
+// armFIFOs resizes a retained set of per-station arrival FIFOs to n
+// stations, reusing the backing storage when it fits. A fresh build
+// carves every station's initial storage from one slab (the ring.go
+// pattern), so first-run allocation is O(1) in the station count; only a
+// station whose FIFO outgrows its carve reallocates, and it keeps the
+// bigger capacity for later runs.
+func armFIFOs(arr [][]float64, head []int, n int) ([][]float64, []int) {
+	if cap(arr) >= n && cap(head) >= n {
+		arr, head = arr[:n], head[:n]
+		for i := range arr {
+			arr[i] = arr[i][:0]
+			head[i] = 0
+		}
+		return arr, head
+	}
+	arr = make([][]float64, n)
+	head = make([]int, n)
+	const per = 8
+	slab := make([]float64, n*per)
+	for i := range arr {
+		arr[i] = slab[:0:per]
+		slab = slab[per:]
+	}
+	return arr, head
 }
 
 // bucket folds a bank index into a relative-position bucket.
@@ -151,6 +201,8 @@ func (rc *runCollector) BankStart(bank int, now float64, service float64, rowHit
 }
 
 func (rc *runCollector) SectionArrive(sec int, now float64, depth int) {
+	// arm sized the FIFOs from the config; the loop is a defensive
+	// fallback for a section index the config did not predict.
 	for len(rc.sectArr) <= sec {
 		rc.sectArr = append(rc.sectArr, nil)
 		rc.sectHead = append(rc.sectHead, 0)
@@ -173,23 +225,38 @@ func (rc *runCollector) WindowStall(proc int, from, to float64) {
 	}
 }
 
-// RunDone commits the run. This is the only collector method that touches
-// shared state, and it only fires for completed simulations.
+// RunDone commits the run and recycles the collector. This is the only
+// collector method that touches shared state, and it only fires for
+// completed simulations.
 func (rc *runCollector) RunDone(res sim.Result) {
 	rc.c.res = res
 	key, ok := SimKey(rc.cfg, rc.pt)
-	rc.o.mu.Lock()
-	defer rc.o.mu.Unlock()
-	if !ok {
+	o := rc.o
+	o.mu.Lock()
+	switch {
+	case !ok:
 		// No content fingerprint (custom bank map without a CacheKeyer):
 		// the run cannot be deduplicated, so counting it would make the
 		// totals depend on how many times the scheduler re-executed it.
 		// It is tallied separately and excluded from deterministic series.
-		rc.o.unkeyed++
-		return
+		o.unkeyed++
+	case o.contribs[key] != nil:
+		// A re-execution of a known simulation (cache disabled, or a
+		// post-fault retry) commits identical values: overwrite in place
+		// rather than allocating a fresh contribution.
+		*o.contribs[key] = rc.c
+	default:
+		c := rc.c // copy: rc is recycled below
+		o.contribs[key] = &c
 	}
-	c := rc.c // copy; the collector may be reused in theory
-	rc.o.contribs[key] = &c
+	o.mu.Unlock()
+
+	// The engine drops its RunProbe reference after RunDone; release the
+	// run's borrowed references and return the collector to the pool.
+	rc.o = nil
+	rc.cfg = sim.Config{}
+	rc.pt = core.Pattern{}
+	o.collPool.Put(rc)
 }
 
 // ObservePoint records one point execution's wall time.

@@ -1,0 +1,8 @@
+//go:build race
+
+package runner
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which deliberately defeats sync.Pool caching; allocation
+// pins on pooled paths only hold without it.
+const raceEnabled = true

@@ -24,7 +24,7 @@ func TestEventQueueOrdersLikeSort(t *testing.T) {
 				time: float64(g.Intn(16)),
 				kind: eventKind(g.Intn(5)),
 				seq:  i,
-				proc: g.Intn(8),
+				proc: int32(g.Intn(8)),
 			}
 		}
 		var q eventQueue

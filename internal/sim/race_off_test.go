@@ -1,0 +1,6 @@
+//go:build !race
+
+package sim
+
+// raceEnabled mirrors race_on_test.go for non-race builds.
+const raceEnabled = false

@@ -26,6 +26,7 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"dxbsp/internal/core"
 )
@@ -186,23 +187,24 @@ const (
 	evComplete                     // response arrives back at processor
 )
 
-// event is one scheduled state transition. It is a flat value — the
-// request fields are inlined rather than nested so the heap moves one
-// 48-byte struct with no indirection. Which fields are meaningful
-// depends on kind; see dispatch.
+// event is one scheduled state transition. It is a flat 40-byte value —
+// the request fields are inlined rather than nested, and the processor,
+// bank and section indices are int32 (they are bounded by the machine
+// shape), so the scheduler moves and compares narrow values with no
+// indirection. Which fields are meaningful depends on kind; see dispatch.
 type event struct {
 	time float64
 	seq  int    // tie-break: FIFO by issue order (unique per (kind, seq))
 	addr uint64 // request address (routing events)
-	proc int    // issuing processor (evInject, evComplete, routing events)
-	bank int    // destination bank (routing events)
-	idx  int    // section or bank index for *Done events
+	proc int32  // issuing processor (evInject, evComplete, routing events)
+	bank int32  // destination bank (routing events)
+	idx  int32  // section or bank index for *Done events
 	kind eventKind
 }
 
 // req reconstructs the in-flight request carried by a routing event.
 func (ev *event) req() request {
-	return request{proc: ev.proc, seq: ev.seq, addr: ev.addr, bank: ev.bank}
+	return request{proc: int(ev.proc), seq: ev.seq, addr: ev.addr, bank: int(ev.bank)}
 }
 
 type procState struct {
@@ -215,19 +217,27 @@ type procState struct {
 	completed   int
 }
 
-// engine holds all mutable simulation state. After newEngine returns,
-// the event loop allocates nothing in steady state: the event queue and
-// the per-server rings grow by amortized doubling only when a run
-// exceeds their high-water marks (TestEventLoopSteadyStateAllocs pins
-// this).
+// engine holds all mutable simulation state. It is built once and re-armed
+// by reset: the calendar-queue buckets, the per-server rings and the
+// processor/bank bookkeeping slices are all retained across runs, so a
+// reused engine performs zero steady-state allocations per run
+// (TestEngineReuseZeroAllocs pins this; TestEventLoopSteadyStateAllocs
+// pins that the event loop itself never allocates per event).
 type engine struct {
 	cfg      Config
 	bm       core.BankMap
-	events   eventQueue
+	events   wheel
 	procs    []procState
 	sections []server
 	banks    []server
 	seq      int
+
+	// useHeap forces the retained 4-ary heap scheduler instead of the
+	// calendar queue. Test-only: the heap-vs-wheel differential
+	// (TestWheelVsHeapDifferential) runs both over identical configs and
+	// asserts byte-identical Results. One predictable branch per event.
+	useHeap bool
+	heapq   eventQueue
 
 	// openLoop marks the Window == 0 fast path: no processor can ever
 	// block, so per-request evComplete events are collapsed into direct
@@ -243,12 +253,41 @@ type engine struct {
 
 	res       Result
 	bankServe []int
-	bankRows  [][]uint64 // per-bank LRU row buffer (nil when caching off)
-	lastDone  float64
+	// rowsOn gates the cached-DRAM ablation; bankRows storage is retained
+	// across resets even when a run has caching off, so alternating
+	// configurations on a reused engine do not reallocate.
+	rowsOn   bool
+	bankRows [][]uint64 // per-bank LRU row buffer
+	lastDone float64
 }
 
 // sectionOf maps a bank to its network section.
 func (e *engine) sectionOf(bank int) int { return bank / e.banksPerSection }
+
+// pending returns the number of scheduled events.
+func (e *engine) pending() int {
+	if e.useHeap {
+		return e.heapq.len()
+	}
+	return e.events.len()
+}
+
+// sched inserts ev into the active scheduler.
+func (e *engine) sched(ev event) {
+	if e.useHeap {
+		e.heapq.push(ev)
+		return
+	}
+	e.events.push(ev)
+}
+
+// next removes and returns the (time, kind, seq)-minimum event.
+func (e *engine) next() event {
+	if e.useHeap {
+		return e.heapq.pop()
+	}
+	return e.events.pop()
+}
 
 // cancelCheckEvents is how many simulated events pass between context
 // polls in RunContext. Power of two; small enough that even quick-scale
@@ -263,96 +302,42 @@ func Run(cfg Config, pt core.Pattern) (Result, error) {
 	return RunContext(context.Background(), cfg, pt)
 }
 
+// enginePool recycles engines across RunContext calls so back-to-back
+// runs — a sweep's workers all funnel through here — reuse the retained
+// wheel buckets, rings and bookkeeping slices instead of rebuilding them
+// per run. Engines are parked released (no borrowed references; see
+// engine.release), so the pool never pins a caller's pattern or probe.
+var enginePool = sync.Pool{New: func() any { return new(Engine) }}
+
 // RunContext is Run with cooperative cancellation: the event loop polls
 // ctx every cancelCheckEvents events, so timeouts, retries and chaos
 // cancellation interrupt a simulation mid-flight instead of waiting for
 // it to finish. Polling reads no simulation state, so an uncancelled
 // RunContext produces cycle counts byte-identical to Run.
+//
+// Runs execute on pooled engines: Engine.Reset re-arms every piece of
+// retained state over its full new extent, so reuse is invisible —
+// results are byte-identical to a fresh engine's — and the steady-state
+// allocation cost of a run is ~0 (TestProbesOffAllocBudget pins it).
 func RunContext(ctx context.Context, cfg Config, pt core.Pattern) (Result, error) {
-	if err := cfg.Machine.Validate(); err != nil {
-		return Result{}, err
-	}
-	cfg = cfg.Normalize()
-	if err := cfg.Validate(); err != nil {
-		return Result{}, err
-	}
-	if pt.Procs() > cfg.Machine.Procs {
-		return Result{}, fmt.Errorf("sim: pattern has %d processor streams but machine has %d processors",
-			pt.Procs(), cfg.Machine.Procs)
-	}
-
-	return newEngine(cfg, pt).simulate(ctx)
-}
-
-// newEngine builds the simulation state for one run of pt under the
-// already-normalized, already-validated cfg, including the initial
-// injection events.
-func newEngine(cfg Config, pt core.Pattern) *engine {
-	e := &engine{cfg: cfg, bm: cfg.BankMap, openLoop: cfg.Window == 0}
-	if cfg.Probe != nil {
-		e.rp = cfg.Probe.RunStart(cfg, pt)
-	}
-	if cfg.BankCacheLines > 0 {
-		e.bankRows = make([][]uint64, cfg.Machine.Banks)
-	}
-	e.procs = make([]procState, pt.Procs())
-	nSections := 1
-	if cfg.UseSections && cfg.Machine.Sections > 1 {
-		nSections = cfg.Machine.Sections
-	}
-	e.sections = make([]server, nSections)
-	e.banks = make([]server, cfg.Machine.Banks)
-	e.bankServe = make([]int, cfg.Machine.Banks)
-	e.banksPerSection = (cfg.Machine.Banks + nSections - 1) / nSections
-
-	// One slab supplies every server's initial ring, so a run performs
-	// O(1) queue allocations rather than one per bank that ever queues;
-	// only a queue deeper than initialRing reallocates (server.grow).
-	const initialRing = 8 // power of two, as the ring requires
-	slab := make([]request, (cfg.Machine.Banks+nSections)*initialRing)
-	for i := range e.banks {
-		e.banks[i].buf = slab[:initialRing:initialRing]
-		slab = slab[initialRing:]
-	}
-	for i := range e.sections {
-		e.sections[i].buf = slab[:initialRing:initialRing]
-		slab = slab[initialRing:]
-	}
-
-	// Size the event queue off the pattern and machine so steady state
-	// never grows it: the live event population is bounded by one pending
-	// injection per processor, one *Done per busy bank and section, plus
-	// the requests in network transit (which scale with NetDelay/G, not
-	// with N). Small runs cap the hint at one event per request.
-	hint := pt.Procs() + cfg.Machine.Banks + nSections
-	if n := pt.N() + pt.Procs(); n < hint {
-		hint = n
-	}
-	e.events.init(hint)
-
-	total := 0
-	for i, addrs := range pt.PerProc {
-		e.procs[i].addrs = addrs
-		total += len(addrs)
-		if len(addrs) > 0 {
-			e.events.push(event{time: 0, seq: e.nextSeq(), kind: evInject, proc: i})
-		}
-	}
-	e.res.Requests = total
-	return e
+	e := enginePool.Get().(*Engine)
+	res, err := e.Run(ctx, cfg, pt)
+	e.eng.release()
+	enginePool.Put(e)
+	return res, err
 }
 
 // simulate drains the event queue and assembles the result.
 func (e *engine) simulate(ctx context.Context) (Result, error) {
 	processed := 0
-	for e.events.len() > 0 {
+	for e.pending() > 0 {
 		processed++
 		if processed%cancelCheckEvents == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("sim: cancelled after %d events: %w", processed, err)
 			}
 		}
-		e.dispatch(e.events.pop())
+		e.dispatch(e.next())
 	}
 
 	e.res.Cycles = e.lastDone
@@ -383,15 +368,15 @@ func (e *engine) nextSeq() int {
 func (e *engine) dispatch(ev event) {
 	switch ev.kind {
 	case evInject:
-		e.inject(ev.proc, ev.time)
+		e.inject(int(ev.proc), ev.time)
 	case evSectionDone:
-		e.sectionDone(ev.idx, ev.req(), ev.time)
+		e.sectionDone(int(ev.idx), ev.req(), ev.time)
 	case evBankArrive:
 		e.bankArrive(ev.req(), ev.time)
 	case evBankDone:
-		e.bankDone(ev.idx, ev.time)
+		e.bankDone(int(ev.idx), ev.time)
 	case evComplete:
-		e.complete(ev.proc, ev.time)
+		e.complete(int(ev.proc), ev.time)
 	}
 }
 
@@ -417,12 +402,12 @@ func (e *engine) inject(p int, now float64) {
 		sec := e.sectionOf(req.bank)
 		e.arriveSection(sec, req, now+e.cfg.NetDelay)
 	} else {
-		e.events.push(event{time: now + e.cfg.NetDelay, seq: req.seq, kind: evBankArrive,
-			proc: req.proc, addr: req.addr, bank: req.bank})
+		e.sched(event{time: now + e.cfg.NetDelay, seq: req.seq, kind: evBankArrive,
+			proc: int32(req.proc), addr: req.addr, bank: int32(req.bank)})
 	}
 
 	if ps.next < len(ps.addrs) {
-		e.events.push(event{time: ps.nextIssueAt, seq: e.nextSeq(), kind: evInject, proc: p})
+		e.sched(event{time: ps.nextIssueAt, seq: e.nextSeq(), kind: evInject, proc: int32(p)})
 	}
 }
 
@@ -445,14 +430,14 @@ func (e *engine) startSection(sec int, req request, now float64, queued bool) {
 		e.rp.SectionStart(sec, now, queued)
 	}
 	done := now + e.cfg.Machine.SectionGap
-	e.events.push(event{time: done, seq: req.seq, kind: evSectionDone, idx: sec,
-		proc: req.proc, addr: req.addr, bank: req.bank})
+	e.sched(event{time: done, seq: req.seq, kind: evSectionDone, idx: int32(sec),
+		proc: int32(req.proc), addr: req.addr, bank: int32(req.bank)})
 }
 
 func (e *engine) sectionDone(sec int, req request, now float64) {
 	// Forward to the bank, then start the next queued request.
-	e.events.push(event{time: now, seq: req.seq, kind: evBankArrive,
-		proc: req.proc, addr: req.addr, bank: req.bank})
+	e.sched(event{time: now, seq: req.seq, kind: evBankArrive,
+		proc: int32(req.proc), addr: req.addr, bank: int32(req.bank)})
 	s := &e.sections[sec]
 	if next, ok := s.dequeue(); ok {
 		e.startSection(sec, next, now, true)
@@ -478,7 +463,7 @@ func (e *engine) startBank(bank int, req request, now float64, queued bool) {
 	b.busy = true
 	service := e.cfg.Machine.D
 	rowHit := false
-	if e.bankRows != nil && e.rowAccess(bank, req.addr) {
+	if e.rowsOn && e.rowAccess(bank, req.addr) {
 		service = e.cfg.BankHitDelay
 		rowHit = true
 		e.res.RowHits++
@@ -503,7 +488,7 @@ func (e *engine) startBank(bank int, req request, now float64, queued bool) {
 	if e.rp != nil {
 		e.rp.BankStart(bank, now, service, rowHit, queued, combined)
 	}
-	e.events.push(event{time: done, seq: req.seq, kind: evBankDone, idx: bank})
+	e.sched(event{time: done, seq: req.seq, kind: evBankDone, idx: int32(bank)})
 }
 
 // respond delivers the response for a request whose bank service finishes
@@ -523,7 +508,7 @@ func (e *engine) respond(req request, done float64) {
 		}
 		return
 	}
-	e.events.push(event{time: t, seq: req.seq, kind: evComplete, proc: req.proc})
+	e.sched(event{time: t, seq: req.seq, kind: evComplete, proc: int32(req.proc)})
 }
 
 // rowAccess reports whether addr's row is in bank's row buffer and
@@ -573,6 +558,6 @@ func (e *engine) complete(p int, now float64) {
 		if ps.nextIssueAt > t {
 			t = ps.nextIssueAt
 		}
-		e.events.push(event{time: t, seq: e.nextSeq(), kind: evInject, proc: p})
+		e.sched(event{time: t, seq: e.nextSeq(), kind: evInject, proc: int32(p)})
 	}
 }

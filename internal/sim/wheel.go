@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// wheel is the engine's pending-event set: a bounded-horizon calendar
+// queue (timing wheel) that replaces the 4-ary heap on the hot path.
+//
+// The structural fact it exploits: every event the engine schedules lands
+// within a fixed horizon of the event being dispatched — an injection is
+// G ahead, a network hop NetDelay, a section slot SectionGap, a bank
+// completion at most max(D, BankHitDelay) + NetDelay (service plus the
+// response transit pushed from the service start). schedHorizon sums
+// these, so with buckets of width w covering more than horizon/w + slack
+// buckets, the pending ticks (tick = floor(time/w)) always span fewer
+// than len(buckets)-1 values and every bucket holds events of exactly one
+// tick. Push and pop are then O(1) amortized: push appends to
+// buckets[tick%nb], pop scans the cursor bucket for the (time, kind, seq)
+// minimum and otherwise walks the occupancy bitmap to the next tick.
+//
+// The pop sequence is the exact (time, kind, seq) total order the heap
+// produced — load-bearing for the runner's memo cache and checkpoint
+// journal, which key on the simulated cycle counts. Three facts make it
+// exact rather than approximate:
+//
+//   - the bucket width is a power of two, so tick = time * (1/w) is an
+//     exact floating-point scaling and floor(time/w) is computed without
+//     rounding for every representable time;
+//   - tick is monotone in time, and all events sharing a time share a
+//     bucket, so cross-bucket order is by tick and within a bucket the
+//     scan compares full (time, kind, seq) keys;
+//   - the engine never schedules into the past (every push is at or after
+//     the event being dispatched), so the cursor never passes a pending
+//     event. push enforces the horizon invariant and panics on violation
+//     rather than silently misordering.
+//
+// TestWheelVsHeapDifferential and FuzzSimVsReference enforce equivalence
+// with the retained heap; see DESIGN.md §11.
+type wheel struct {
+	buckets [][]event // one slice per tick bucket; len is a power of two
+	occ     []uint64  // occupancy bitmap: bit b set iff buckets[b] non-empty
+	mask    int       // len(buckets) - 1
+	invW    float64   // 1/w where w is the bucket width, an exact power of two
+	cur     int64     // tick of the last popped event (cursor)
+	n       int       // pending events
+}
+
+const (
+	wheelMinBuckets = 64
+	wheelMaxBuckets = 4096
+	// wheelSlack keeps the bucket count strictly above horizon/w + 1 so
+	// pending ticks can never wrap onto the cursor's lap, even with the
+	// +1 tick a bucket-boundary-straddling interval can span.
+	wheelSlack = 4
+)
+
+// schedHorizon bounds how far ahead of the event being dispatched any
+// newly scheduled event can land, for the normalized config. The bound is
+// the sum of every per-hop increment rather than their max, trading a
+// slightly wider wheel for immunity to any one increment being combined
+// with another (a bank completion is service + NetDelay from the start
+// that scheduled it).
+func schedHorizon(cfg Config) float64 {
+	service := cfg.Machine.D
+	if cfg.BankCacheLines > 0 && cfg.BankHitDelay > service {
+		service = cfg.BankHitDelay
+	}
+	h := cfg.Machine.G + service + 2*cfg.NetDelay
+	if cfg.UseSections && cfg.Machine.Sections > 1 {
+		h += cfg.Machine.SectionGap
+	}
+	return h
+}
+
+// reset prepares the wheel for one run of the normalized cfg, retaining
+// bucket storage from previous runs whenever it still fits (the engine
+// reuse contract: a steady-state sweep re-resets the same shapes and
+// allocates nothing).
+func (q *wheel) reset(cfg Config, procs int) {
+	// A cancelled run abandons events mid-flight; clear the full backing
+	// capacity, not just the last run's active region, so a later regrow
+	// within capacity cannot resurrect stale events or occupancy bits.
+	if q.n > 0 {
+		b := q.buckets[:cap(q.buckets)]
+		for i := range b {
+			b[i] = b[i][:0]
+		}
+		o := q.occ[:cap(q.occ)]
+		for i := range o {
+			o[i] = 0
+		}
+	}
+	q.n = 0
+	q.cur = 0
+
+	// Ideal bucket width ~ G/(2p): processors inject p requests every G
+	// cycles and each request produces a handful of events, so this keeps
+	// the expected bucket occupancy at one or two events. Widen (halving
+	// the bucket count) until the horizon fits the bucket cap.
+	if procs < 1 {
+		procs = 1
+	}
+	h := schedHorizon(cfg)
+	_, exp := math.Frexp(cfg.Machine.G / float64(2*procs))
+	e := exp - 1 // floor(log2(G/2p)); w = 2^e
+	need := wheelNeed(h, e)
+	for need > wheelMaxBuckets {
+		e++
+		need = wheelNeed(h, e)
+	}
+	nb := wheelMinBuckets
+	for nb < need {
+		nb <<= 1
+	}
+	q.invW = math.Ldexp(1, -e)
+	q.mask = nb - 1
+
+	words := nb / 64
+	if cap(q.buckets) >= nb && cap(q.occ) >= words {
+		q.buckets = q.buckets[:nb]
+		q.occ = q.occ[:words]
+		return
+	}
+	q.buckets = make([][]event, nb)
+	q.occ = make([]uint64, words)
+	// One slab supplies every bucket's initial storage; only a bucket
+	// that ever exceeds it reallocates (amortized, and retained across
+	// resets).
+	const per = 4
+	slab := make([]event, nb*per)
+	for i := range q.buckets {
+		q.buckets[i] = slab[:0:per]
+		slab = slab[per:]
+	}
+}
+
+// wheelNeed returns the bucket count required to cover horizon h with
+// bucket width 2^e.
+func wheelNeed(h float64, e int) int {
+	return int(math.Ceil(math.Ldexp(h, -e))) + wheelSlack
+}
+
+func (q *wheel) len() int { return q.n }
+
+// push inserts ev. ev.time must be at or after the last popped event's
+// time and within the configured horizon of it — the engine's scheduling
+// discipline guarantees both; violations panic rather than misorder.
+func (q *wheel) push(ev event) {
+	tick := int64(ev.time * q.invW)
+	if d := tick - q.cur; d < 0 || d >= int64(q.mask) {
+		panic("sim: event scheduled outside the wheel horizon")
+	}
+	b := int(tick) & q.mask
+	q.buckets[b] = append(q.buckets[b], ev)
+	q.occ[b>>6] |= 1 << uint(b&63)
+	q.n++
+}
+
+// pop removes and returns the (time, kind, seq)-minimum pending event.
+// Call only when len() > 0.
+func (q *wheel) pop() event {
+	b := int(q.cur) & q.mask
+	bk := q.buckets[b]
+	if len(bk) == 0 {
+		b = q.advance(b)
+		bk = q.buckets[b]
+	}
+	mi := 0
+	for i := 1; i < len(bk); i++ {
+		if eventLess(&bk[i], &bk[mi]) {
+			mi = i
+		}
+	}
+	ev := bk[mi]
+	last := len(bk) - 1
+	bk[mi] = bk[last]
+	q.buckets[b] = bk[:last]
+	if last == 0 {
+		q.occ[b>>6] &^= 1 << uint(b&63)
+	}
+	q.n--
+	return ev
+}
+
+// advance walks the occupancy bitmap from bucket b (known empty) to the
+// next occupied bucket, moves the cursor to that bucket's tick, and
+// returns its index. Because pending ticks span fewer than len(buckets)-1
+// values, the first occupied bucket in circular order holds exactly the
+// minimum pending tick.
+func (q *wheel) advance(b int) int {
+	words := len(q.occ)
+	wi := (b + 1) >> 6
+	off := uint((b + 1) & 63)
+	if wi == words {
+		wi, off = 0, 0
+	}
+	word := q.occ[wi] & (^uint64(0) << off)
+	for range q.occ {
+		if word != 0 {
+			f := wi<<6 + bits.TrailingZeros64(word)
+			q.cur += int64((f - b) & q.mask)
+			return f
+		}
+		wi++
+		if wi == words {
+			wi = 0
+		}
+		word = q.occ[wi]
+	}
+	// One extra look at the first word's low bits, reachable only after a
+	// full wrap (the cursor sat near the end of that word).
+	if word != 0 {
+		f := wi<<6 + bits.TrailingZeros64(word)
+		q.cur += int64((f - b) & q.mask)
+		return f
+	}
+	panic("sim: wheel.pop on an empty queue")
+}
