@@ -240,6 +240,54 @@ func BenchmarkSimScatter64KSections(b *testing.B) {
 	}
 }
 
+// BenchmarkSimScatter64KDRAM runs the same scatter under the DRAM
+// discipline with bank groups, covering the row-buffer lookup and the
+// group-bus gating on the hot path.
+func BenchmarkSimScatter64KDRAM(b *testing.B) {
+	m := core.J90()
+	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(2)), m.Procs)
+	cfg := sim.Config{Machine: m,
+		Bank: sim.BankConfig{Discipline: sim.DRAM, Groups: 64, GroupGap: 0.5}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimScatter64KRegulated covers the per-bank window accounting
+// (epoch rollover, budget checks, deferred starts) at default regulation.
+func BenchmarkSimScatter64KRegulated(b *testing.B) {
+	m := core.J90()
+	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(2)), m.Procs)
+	cfg := sim.Config{Machine: m, Bank: sim.BankConfig{Discipline: sim.Regulated}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimScatter64KGPU covers the warp-synchronous issue path, which
+// runs closed-loop (per-request completions drive the warp barrier) even
+// without a window.
+func BenchmarkSimScatter64KGPU(b *testing.B) {
+	m := core.J90()
+	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(2)), m.Procs)
+	cfg := sim.Config{Machine: m, Bank: sim.BankConfig{Discipline: sim.GPUShared}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(cfg, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkProfile64K(b *testing.B) {
 	m := core.J90()
 	pt := core.NewPattern(patterns.Uniform(1<<16, 1<<30, rng.New(3)), m.Procs)

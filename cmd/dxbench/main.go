@@ -5,6 +5,7 @@
 //
 //	dxbench                  # run every experiment at paper scale
 //	dxbench -experiment F6   # run one experiment
+//	dxbench -discipline dram # run one bank discipline's experiment family
 //	dxbench -list            # list experiment IDs and titles
 //	dxbench -quick           # reduced sweep sizes
 //	dxbench -n 65536         # bulk operation size
@@ -55,6 +56,7 @@ import (
 	"dxbsp/internal/experiments"
 	"dxbsp/internal/faults"
 	"dxbsp/internal/runner"
+	"dxbsp/internal/sim"
 	"dxbsp/internal/tablefmt"
 )
 
@@ -75,6 +77,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		expID    = fs.String("experiment", "", "experiment ID to run (default: all)")
+		discName = fs.String("discipline", "", "run the experiment family for one bank discipline (fifo, dram, regulated, gpu)")
 		list     = fs.Bool("list", false, "list experiments and exit")
 		quick    = fs.Bool("quick", false, "use reduced sweep sizes")
 		n        = fs.Int("n", 0, "bulk operation size (default 65536, or 4096 with -quick)")
@@ -181,6 +184,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	todo := experiments.All()
+	if *expID != "" && *discName != "" {
+		fmt.Fprintln(stderr, "dxbench: -experiment and -discipline are mutually exclusive")
+		return exitHard
+	}
 	if *expID != "" {
 		e, ok := experiments.Lookup(*expID)
 		if !ok {
@@ -188,6 +195,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return exitHard
 		}
 		todo = []experiments.Experiment{e}
+	}
+	if *discName != "" {
+		d, err := sim.ParseDiscipline(*discName)
+		if err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+		todo = experiments.ForDiscipline(d)
 	}
 
 	r := &runner.Runner{

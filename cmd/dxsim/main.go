@@ -8,11 +8,15 @@
 //	dxsim -machine C90 -pattern uniform -m 4096
 //	dxsim -machine J90 -pattern entropy -rounds 4 -hash linear
 //	dxsim -machine J90 -pattern stride -stride 512
+//	dxsim -machine J90 -pattern stride -stride 3 -discipline dram
 //
 // Patterns: contention (k duplicates/location), uniform (over [0,m)),
 // entropy (Thearling–Smith with -rounds AND rounds), stride, allsame,
 // permutation, worstbank, zipf (-s exponent over [0,m)).
 // Hash maps: interleave (default), linear, quadratic, cubic.
+// Disciplines: fifo (default), dram, regulated, gpu (word-interleaved
+// banks, warp-synchronous issue) — each run with its documented defaults
+// and an extra per-discipline report line.
 package main
 
 import (
@@ -43,6 +47,7 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		sections = flag.Bool("sections", false, "model network section bandwidth")
 		window   = flag.Int("window", 0, "max outstanding requests per processor (0 = unlimited)")
+		discName = flag.String("discipline", "fifo", "bank service discipline: fifo, dram, regulated, gpu")
 		zipfS    = flag.Float64("s", 1.1, "Zipf exponent for -pattern zipf")
 		metricsF = flag.Bool("metrics", false, "append the observability report: bank heatmap + metric series")
 	)
@@ -51,6 +56,10 @@ func main() {
 	mach, ok := core.LookupMachine(*machine)
 	if !ok {
 		fail("unknown machine %q", *machine)
+	}
+	disc, err := sim.ParseDiscipline(*discName)
+	if err != nil {
+		fail("%v", err)
 	}
 	g := rng.New(*seed)
 
@@ -80,6 +89,10 @@ func main() {
 	}
 
 	var bm core.BankMap = core.InterleaveMap{Banks: mach.Banks}
+	if disc == sim.GPUShared {
+		// GPU shared memory is word-interleaved: bank = (addr/4) % banks.
+		bm = core.GPUSharedMap{Banks: mach.Banks}
+	}
 	if *hash != "interleave" {
 		bits := hashfn.Log2Banks(mach.Banks)
 		switch *hash {
@@ -97,7 +110,8 @@ func main() {
 	pt := core.NewPattern(addrs, mach.Procs)
 	prof := core.ComputeProfile(pt, bm)
 	var obs *runner.Observer
-	cfg := sim.Config{Machine: mach, BankMap: bm, UseSections: *sections, Window: *window}
+	cfg := sim.Config{Machine: mach, BankMap: bm, UseSections: *sections, Window: *window,
+		Bank: sim.BankConfig{Discipline: disc}}
 	if *metricsF {
 		obs = runner.NewObserver()
 		cfg.Probe = obs
@@ -134,6 +148,17 @@ func main() {
 		r.MaxBankServed, r.MaxBankQueue, r.BankBusy)
 	if *sections {
 		fmt.Printf("sections   max queue=%d\n", r.MaxSectionQueue)
+	}
+	switch disc {
+	case sim.DRAM:
+		fmt.Printf("dram       row hits=%d (%.1f%%)  row conflicts=%d\n",
+			r.RowHits, 100*float64(r.RowHits)/float64(prof.N), r.RowConflicts)
+	case sim.Regulated:
+		fmt.Printf("regulated  throttle stalls=%d  stall cycles=%.0f (%.2f/request)\n",
+			r.ThrottleStalls, r.ThrottleStallCycles, r.ThrottleStallCycles/float64(prof.N))
+	case sim.GPUShared:
+		fmt.Printf("gpu        warp replays=%d (%.2f/warp of %d lanes)\n",
+			r.WarpReplays, float64(r.WarpReplays)/(float64(prof.N)/32), 32)
 	}
 	if obs != nil {
 		fmt.Println()

@@ -29,6 +29,22 @@ func (m InterleaveMap) Bank(addr uint64) int { return int(addr % uint64(m.Banks)
 // NumBanks implements BankMap.
 func (m InterleaveMap) NumBanks() int { return m.Banks }
 
+// GPUSharedMap is the GPU shared-memory bank mapping: successive 32-bit
+// words map to successive banks, so for byte addresses
+// bank = (addr / 4) mod banks. With the canonical 32 banks, a warp's
+// lanes conflict exactly when their word indices collide modulo 32
+// (SNIPPETS.md puzzle 32): unit word stride is conflict-free, even
+// strides serialize by gcd(stride, 32).
+type GPUSharedMap struct {
+	Banks int
+}
+
+// Bank implements BankMap.
+func (m GPUSharedMap) Bank(addr uint64) int { return int((addr / 4) % uint64(m.Banks)) }
+
+// NumBanks implements BankMap.
+func (m GPUSharedMap) NumBanks() int { return m.Banks }
+
 // Pattern is a bulk memory access pattern: for each processor, the ordered
 // list of addresses it issues during one superstep (one vectorized scatter
 // or gather). Patterns are what the model profiles and what the simulator

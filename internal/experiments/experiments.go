@@ -251,6 +251,7 @@ func All() []Experiment {
 		expF10(), expF11(), expF12(), expF13(),
 		expX1(), expX2(), expX3(), expX4(), expX5(), expX6(), expX7(),
 		expX8(), expX9(), expX10(), expX11(), expX12(), expX13(),
+		expD1(), expD2(), expD3(),
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 
@@ -191,16 +192,33 @@ func cacheKey(cfg sim.Config, pt core.Pattern) (string, bool) {
 
 // configPrefix fingerprints every behavioral knob of the normalized cfg.
 // Returns ok=false when the bank map cannot be fingerprinted.
+//
+// The FIFO row-buffer knobs are emitted in the historical bcl/bhd/brs
+// encoding, derived from the normalized Bank sub-config (brs is log2 of
+// the row size, exactly what the deprecated BankRowShift field held), and
+// non-FIFO disciplines append their sub-config after it — so every key
+// minted before the discipline API exists unchanged, and the checkpoint
+// journals and memo entries keyed under it stay valid.
+// TestConfigPrefixCompat pins the exact legacy strings.
 func configPrefix(cfg sim.Config) (string, bool) {
 	bmKey, ok := bankMapKey(cfg.BankMap)
 	if !ok {
 		return "", false
 	}
+	brs := 0
+	if cfg.Bank.CacheLines > 0 && cfg.Bank.RowWords > 0 {
+		brs = bits.TrailingZeros(uint(cfg.Bank.RowWords))
+	}
+	ext := ""
+	if cfg.Bank.Discipline != sim.FIFO {
+		// BankConfig is all scalar fields, so %+v is a complete fingerprint.
+		ext = fmt.Sprintf("disc=%s|bank=%+v|", cfg.Bank.Discipline, cfg.Bank)
+	}
 	// Machine is all scalar fields, so %+v is a complete fingerprint.
-	return fmt.Sprintf("m=%+v|bm=%s|w=%d|comb=%t|nd=%g|sect=%t|bcl=%d|bhd=%g|brs=%d|pt=",
+	return fmt.Sprintf("m=%+v|bm=%s|w=%d|comb=%t|nd=%g|sect=%t|bcl=%d|bhd=%g|brs=%d|%spt=",
 		cfg.Machine, bmKey,
 		cfg.Window, cfg.Combining, cfg.NetDelay, cfg.UseSections,
-		cfg.BankCacheLines, cfg.BankHitDelay, cfg.BankRowShift), true
+		cfg.Bank.CacheLines, cfg.Bank.HitDelay, brs, ext), true
 }
 
 func bankMapKey(bm core.BankMap) (string, bool) {
@@ -209,6 +227,8 @@ func bankMapKey(bm core.BankMap) (string, bool) {
 		return "nil", true
 	case core.InterleaveMap:
 		return fmt.Sprintf("interleave:%d", m.Banks), true
+	case core.GPUSharedMap:
+		return fmt.Sprintf("gpushared:%d", m.Banks), true
 	case CacheKeyer:
 		return m.CacheKey(), true
 	default:

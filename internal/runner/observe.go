@@ -182,7 +182,7 @@ func (rc *runCollector) BankArrive(bank int, now float64, depth int) {
 	}
 }
 
-func (rc *runCollector) BankStart(bank int, now float64, service float64, rowHit, queued bool, combined int) {
+func (rc *runCollector) BankStart(bank int, now float64, service, stall float64, rowHit, queued bool, combined int) {
 	p := rc.bucket(bank)
 	rc.c.posLoad[p] += float64(1 + combined)
 	rc.c.posBusy[p] += service
@@ -319,6 +319,10 @@ func (o *Observer) Registry() *metrics.Registry {
 	requests := reg.Counter("dxbsp_sim_requests", "memory requests simulated")
 	services := reg.Counter("dxbsp_sim_bank_services", "bank service occupations")
 	rowHits := reg.Counter("dxbsp_sim_row_hits", "bank services satisfied from the row buffer")
+	rowConfC := reg.Counter("dxbsp_sim_row_conflicts", "DRAM services that missed every open row")
+	throttleC := reg.Counter("dxbsp_sim_throttle_stalls", "bank services deferred by bandwidth regulation")
+	throttleCyC := reg.Counter("dxbsp_sim_throttle_stall_cycles", "time bank services waited on regulation windows")
+	replayC := reg.Counter("dxbsp_sim_warp_replays", "GPU shared-memory bank-conflict warp replays")
 	combinedC := reg.Counter("dxbsp_sim_combined_requests", "requests satisfied by combining")
 	queuedC := reg.Counter("dxbsp_sim_queued_bank_starts", "bank services that waited in the queue")
 	busyC := reg.Counter("dxbsp_sim_bank_busy_cycles", "total bank busy time")
@@ -335,6 +339,10 @@ func (o *Observer) Registry() *metrics.Registry {
 		requests.Add(float64(c.res.Requests))
 		services.Add(float64(c.res.BankServices))
 		rowHits.Add(float64(c.res.RowHits))
+		rowConfC.Add(float64(c.res.RowConflicts))
+		throttleC.Add(float64(c.res.ThrottleStalls))
+		throttleCyC.Add(c.res.ThrottleStallCycles)
+		replayC.Add(float64(c.res.WarpReplays))
 		combinedC.Add(float64(c.combined))
 		queuedC.Add(float64(c.queuedBank))
 		busyC.Add(c.res.BankBusy)

@@ -19,20 +19,28 @@ func TestNormalizeAppliesDefaults(t *testing.T) {
 		t.Errorf("NetDelay = %g, want %g", c.NetDelay, m.L/2)
 	}
 	// Bank-cache defaults apply only when caching is on.
-	if c.BankHitDelay != 0 || c.BankRowShift != 0 {
+	if c.Bank.HitDelay != 0 || c.Bank.RowWords != 0 {
 		t.Errorf("cache knobs defaulted while caching off: %+v", c)
 	}
+	// The deprecated HS93 fields fold into the Bank sub-config, with the
+	// same defaults the old fields had (hit delay 1, 32-word rows).
 	cc := Config{Machine: m, BankCacheLines: 2}.Normalize()
-	if cc.BankHitDelay != 1 || cc.BankRowShift != 5 {
-		t.Errorf("cache defaults = hit %g shift %d, want 1, 5", cc.BankHitDelay, cc.BankRowShift)
+	if cc.Bank.CacheLines != 2 || cc.Bank.HitDelay != 1 || cc.Bank.RowWords != 32 {
+		t.Errorf("cache defaults = %+v, want lines 2, hit 1, rows 32", cc.Bank)
 	}
 }
 
 func TestNormalizeKeepsExplicitValues(t *testing.T) {
 	m := core.Machine{Name: "n", Procs: 4, Banks: 32, D: 4, G: 1, L: 10}
 	c := Config{Machine: m, NetDelay: 3, BankCacheLines: 2, BankHitDelay: 2, BankRowShift: 8}.Normalize()
-	if c.NetDelay != 3 || c.BankHitDelay != 2 || c.BankRowShift != 8 {
+	if c.NetDelay != 3 || c.Bank.HitDelay != 2 || c.Bank.RowWords != 1<<8 {
 		t.Errorf("Normalize overwrote explicit values: %+v", c)
+	}
+	// An explicit Bank sub-config wins over the deprecated fields.
+	d := Config{Machine: m, BankCacheLines: 4, BankHitDelay: 3,
+		Bank: BankConfig{CacheLines: 1, HitDelay: 2, RowWords: 1}}.Normalize()
+	if d.Bank.CacheLines != 1 || d.Bank.HitDelay != 2 || d.Bank.RowWords != 1 {
+		t.Errorf("deprecated fields overrode the Bank sub-config: %+v", d.Bank)
 	}
 }
 

@@ -21,12 +21,14 @@ import (
 type Engine struct {
 	eng engine
 
-	// defMap caches the boxed default interleave BankMap so repeated runs
-	// of a BankMap-less config do not re-box it into the interface every
-	// Reset (one allocation per run otherwise). Engine-owned and
+	// defMap caches the boxed default BankMap (interleave, or the GPU
+	// word-interleaved map under the GPUShared discipline) so repeated
+	// runs of a BankMap-less config do not re-box it into the interface
+	// every Reset (one allocation per run otherwise). Engine-owned and
 	// stateless, so it survives release and pins nothing.
 	defMap   core.BankMap
 	defBanks int
+	defGPU   bool
 }
 
 // NewEngine returns an empty Engine. The first Run (or Reset) sizes its
@@ -44,9 +46,15 @@ func (E *Engine) Reset(cfg Config, pt core.Pattern) error {
 		return err
 	}
 	if cfg.BankMap == nil {
-		if E.defMap == nil || E.defBanks != cfg.Machine.Banks {
-			E.defMap = core.InterleaveMap{Banks: cfg.Machine.Banks}
+		gpu := cfg.Bank.Discipline == GPUShared
+		if E.defMap == nil || E.defBanks != cfg.Machine.Banks || E.defGPU != gpu {
+			if gpu {
+				E.defMap = core.GPUSharedMap{Banks: cfg.Machine.Banks}
+			} else {
+				E.defMap = core.InterleaveMap{Banks: cfg.Machine.Banks}
+			}
 			E.defBanks = cfg.Machine.Banks
+			E.defGPU = gpu
 		}
 		cfg.BankMap = E.defMap
 	}
@@ -96,7 +104,6 @@ func (e *engine) release() {
 func (e *engine) reset(cfg Config, pt core.Pattern) {
 	e.cfg = cfg
 	e.bm = cfg.BankMap
-	e.openLoop = cfg.Window == 0
 	e.seq = 0
 	e.lastDone = 0
 	e.res = Result{}
@@ -105,10 +112,22 @@ func (e *engine) reset(cfg Config, pt core.Pattern) {
 		e.rp = cfg.Probe.RunStart(cfg, pt)
 	}
 
-	// The cached-DRAM ablation. Row storage is retained even across runs
-	// that have caching off (rowsOn gates its use), so alternating
-	// configurations do not churn.
-	e.rowsOn = cfg.BankCacheLines > 0
+	// Resolve the discipline dispatch once; the event loop switches on
+	// the tag and never takes an interface call per event. GPUShared is
+	// the one discipline that needs per-request completions even in the
+	// open loop (the warp barrier is driven from complete), so it opts
+	// out of the collapsed fast path.
+	b := cfg.Bank
+	e.disc = b.Discipline
+	e.openLoop = cfg.Window == 0 && b.Discipline != GPUShared
+	e.warpSize = b.WarpSize
+
+	// Row buffers (FIFO's HS93 ablation and the DRAM discipline). Row
+	// storage is retained even across runs that have row buffers off
+	// (rowsOn gates its use), so alternating configurations do not churn.
+	e.rowsOn = b.CacheLines > 0
+	e.rowLines = b.CacheLines
+	e.rowShift = rowShiftOf(b.RowWords)
 	if e.rowsOn {
 		if cap(e.bankRows) >= cfg.Machine.Banks {
 			e.bankRows = e.bankRows[:cfg.Machine.Banks]
@@ -117,6 +136,38 @@ func (e *engine) reset(cfg Config, pt core.Pattern) {
 			}
 		} else {
 			e.bankRows = make([][]uint64, cfg.Machine.Banks)
+		}
+	}
+
+	// DRAM bank-group gating.
+	e.groupGapOn = b.Discipline == DRAM && b.Groups > 0 && b.GroupGap > 0
+	if e.groupGapOn {
+		e.banksPerGroup = (cfg.Machine.Banks + b.Groups - 1) / b.Groups
+		if cap(e.groupReady) >= b.Groups {
+			e.groupReady = e.groupReady[:b.Groups]
+			for i := range e.groupReady {
+				e.groupReady[i] = 0
+			}
+		} else {
+			e.groupReady = make([]float64, b.Groups)
+		}
+	}
+
+	// Regulated window accounting.
+	if b.Discipline == Regulated {
+		e.regWindow = b.RegWindow
+		e.regBudget = int32(b.RegBudget)
+		nb := cfg.Machine.Banks
+		if cap(e.regEpoch) >= nb && cap(e.regUsed) >= nb {
+			e.regEpoch = e.regEpoch[:nb]
+			e.regUsed = e.regUsed[:nb]
+			for i := range e.regEpoch {
+				e.regEpoch[i] = 0
+				e.regUsed[i] = 0
+			}
+		} else {
+			e.regEpoch = make([]int64, nb)
+			e.regUsed = make([]int32, nb)
 		}
 	}
 

@@ -11,32 +11,67 @@ import (
 // rewrite: the event-driven engine and the independent time-stepped
 // RunReference oracle must agree exactly — cycle for cycle — on every
 // configuration in the oracle's supported subset (open loop, no
-// combining, no sections, no bank cache, integral G/D/NetDelay), over
-// randomized machine shapes and both uniform and conflict-heavy address
-// patterns.
+// combining, no sections, integral delays), over randomized machine
+// shapes, every bank service discipline, and both uniform and
+// conflict-heavy address patterns.
 //
 // Under `go test` the seed corpus runs as a regression suite; under
 // `go test -fuzz FuzzSimVsReference ./internal/sim/` the mutator explores
-// the (p, x, d, g, NetDelay, pattern) space.
+// the (p, x, d, g, NetDelay, discipline, pattern) space.
 func FuzzSimVsReference(f *testing.F) {
-	f.Add(uint64(1), uint8(3), uint8(7), uint8(4), uint8(0), uint8(3), uint16(200), uint8(0))
-	f.Add(uint64(2), uint8(0), uint8(0), uint8(0), uint8(1), uint8(0), uint16(1), uint8(1))
-	f.Add(uint64(3), uint8(7), uint8(15), uint8(11), uint8(3), uint8(15), uint16(999), uint8(2))
-	f.Add(uint64(4), uint8(1), uint8(2), uint8(5), uint8(2), uint8(8), uint16(500), uint8(1))
-	f.Add(uint64(5), uint8(5), uint8(1), uint8(1), uint8(0), uint8(0), uint16(333), uint8(2))
+	f.Add(uint64(1), uint8(3), uint8(7), uint8(4), uint8(0), uint8(3), uint16(200), uint8(0), uint8(0))
+	f.Add(uint64(2), uint8(0), uint8(0), uint8(0), uint8(1), uint8(0), uint16(1), uint8(1), uint8(0))
+	f.Add(uint64(3), uint8(7), uint8(15), uint8(11), uint8(3), uint8(15), uint16(999), uint8(2), uint8(0))
+	f.Add(uint64(4), uint8(1), uint8(2), uint8(5), uint8(2), uint8(8), uint16(500), uint8(1), uint8(1))
+	f.Add(uint64(5), uint8(5), uint8(1), uint8(1), uint8(0), uint8(0), uint16(333), uint8(2), uint8(2))
+	f.Add(uint64(6), uint8(3), uint8(3), uint8(6), uint8(1), uint8(2), uint16(400), uint8(1), uint8(3))
+	f.Add(uint64(7), uint8(2), uint8(4), uint8(2), uint8(0), uint8(4), uint16(600), uint8(0), uint8(4))
+	f.Add(uint64(8), uint8(6), uint8(2), uint8(9), uint8(2), uint8(1), uint16(250), uint8(2), uint8(9))
 
-	f.Fuzz(func(t *testing.T, seed uint64, pRaw, xRaw, dRaw, gRaw, ndRaw uint8, nRaw uint16, shape uint8) {
+	f.Fuzz(func(t *testing.T, seed uint64, pRaw, xRaw, dRaw, gRaw, ndRaw uint8, nRaw uint16, shape, discRaw uint8) {
 		p := int(pRaw%8) + 1
 		banks := p * (int(xRaw%16) + 1)
 		d := float64(dRaw%12 + 1)
 		g := float64(gRaw%4 + 1)
 		nd := float64(ndRaw % 16)
-		// L = 2*NetDelay keeps the explicit NetDelay and the Normalize
-		// default (L/2) consistent, and keeps it integral for the oracle.
-		m := core.Machine{Name: "fuzz", Procs: p, Banks: banks, D: d, G: g, L: 2 * nd}
 		n := int(nRaw%1000) + 1
 
 		rg := rng.New(seed)
+		// Draw a bank discipline within the oracle's supported subset:
+		// integral delays, no DRAM bank groups (the wheel-vs-heap
+		// differential covers those), NetDelay >= 1 under GPUShared.
+		var bank BankConfig
+		switch discRaw % 5 {
+		case 0: // the paper's FIFO bank
+		case 1: // FIFO with the HS93 row-buffer ablation
+			bank = BankConfig{
+				CacheLines: 1 + rg.Intn(4),
+				HitDelay:   float64(1 + rg.Intn(3)),
+				RowWords:   1 << rg.Intn(7),
+			}
+		case 2: // row-buffer DRAM
+			bank = BankConfig{
+				Discipline: DRAM,
+				CacheLines: 1 + rg.Intn(2),
+				HitDelay:   float64(1 + rg.Intn(3)),
+				MissDelay:  float64(1 + rg.Intn(16)),
+				RowWords:   1 << rg.Intn(7),
+			}
+		case 3: // bandwidth-regulated banks
+			bank = BankConfig{
+				Discipline: Regulated,
+				RegWindow:  float64(1 + rg.Intn(32)),
+				RegBudget:  1 + rg.Intn(4),
+			}
+		case 4: // GPU shared memory
+			bank = BankConfig{Discipline: GPUShared, WarpSize: 1 + rg.Intn(32)}
+			if nd < 1 {
+				nd = 1
+			}
+		}
+		// L = 2*NetDelay keeps the explicit NetDelay and the Normalize
+		// default (L/2) consistent, and keeps it integral for the oracle.
+		m := core.Machine{Name: "fuzz", Procs: p, Banks: banks, D: d, G: g, L: 2 * nd}
 		addrs := make([]uint64, n)
 		for i := range addrs {
 			switch shape % 3 {
@@ -49,7 +84,7 @@ func FuzzSimVsReference(f *testing.F) {
 			}
 		}
 		pt := core.NewPattern(addrs, p)
-		cfg := Config{Machine: m, NetDelay: nd}
+		cfg := Config{Machine: m, NetDelay: nd, Bank: bank}
 
 		ev, err := Run(cfg, pt)
 		if err != nil {
@@ -60,12 +95,18 @@ func FuzzSimVsReference(f *testing.F) {
 			t.Fatalf("reference: %v", err)
 		}
 		if ev.Cycles != ref.Cycles {
-			t.Errorf("p=%d banks=%d d=%g g=%g nd=%g n=%d shape=%d: engine %v cycles, reference %v",
-				p, banks, d, g, nd, n, shape%3, ev.Cycles, ref.Cycles)
+			t.Errorf("p=%d banks=%d d=%g g=%g nd=%g n=%d shape=%d disc=%s: engine %v cycles, reference %v",
+				p, banks, d, g, nd, n, shape%3, bank.Discipline, ev.Cycles, ref.Cycles)
 		}
 		if ev.BankServices != ref.BankServices || ev.BankBusy != ref.BankBusy || ev.Requests != ref.Requests {
-			t.Errorf("p=%d banks=%d d=%g g=%g nd=%g n=%d shape=%d: accounting mismatch: engine %+v vs reference %+v",
-				p, banks, d, g, nd, n, shape%3, ev, ref)
+			t.Errorf("p=%d banks=%d d=%g g=%g nd=%g n=%d shape=%d disc=%s: accounting mismatch: engine %+v vs reference %+v",
+				p, banks, d, g, nd, n, shape%3, bank.Discipline, ev, ref)
+		}
+		if ev.RowHits != ref.RowHits || ev.RowConflicts != ref.RowConflicts ||
+			ev.ThrottleStalls != ref.ThrottleStalls || ev.ThrottleStallCycles != ref.ThrottleStallCycles ||
+			ev.WarpReplays != ref.WarpReplays {
+			t.Errorf("p=%d banks=%d d=%g g=%g nd=%g n=%d shape=%d disc=%s: discipline counters mismatch: engine %+v vs reference %+v",
+				p, banks, d, g, nd, n, shape%3, bank.Discipline, ev, ref)
 		}
 	})
 }

@@ -30,6 +30,7 @@ type countingRunProbe struct {
 	bankArrivals  map[int]int
 	bankStarts    map[int]int
 	bankBusy      float64
+	bankStallCy   float64
 	rowHits       int
 	combined      int
 	queuedBank    int
@@ -49,9 +50,10 @@ func (rp *countingRunProbe) BankArrive(bank int, now float64, depth int) {
 	}
 }
 
-func (rp *countingRunProbe) BankStart(bank int, now float64, service float64, rowHit, queued bool, combined int) {
+func (rp *countingRunProbe) BankStart(bank int, now float64, service, stall float64, rowHit, queued bool, combined int) {
 	rp.bankStarts[bank]++
 	rp.bankBusy += service
+	rp.bankStallCy += stall
 	if rowHit {
 		rp.rowHits++
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"dxbsp/internal/core"
 )
@@ -16,12 +17,17 @@ import (
 // use small inputs.
 //
 // Supported subset: open-loop issue (no Window), no combining, no
-// sections, integral G, D and NetDelay.
+// sections, and integral G, D, NetDelay and discipline delays. Every
+// discipline is covered — FIFO (cached or not), DRAM (without bank
+// groups, whose cross-bank coupling the differential wheel-vs-heap test
+// covers instead), Regulated, and GPUShared (which needs NetDelay >= 1
+// so a warp enabled by a same-cycle response is not re-issued a cycle
+// late relative to the engine's event ordering).
 func RunReference(cfg Config, pt core.Pattern) (Result, error) {
 	if err := cfg.Machine.Validate(); err != nil {
 		return Result{}, err
 	}
-	if cfg.Window != 0 || cfg.Combining || cfg.UseSections || cfg.BankCacheLines != 0 {
+	if cfg.Window != 0 || cfg.Combining || cfg.UseSections {
 		return Result{}, fmt.Errorf("sim: RunReference supports only the basic configuration")
 	}
 	m := cfg.Machine
@@ -32,16 +38,66 @@ func RunReference(cfg Config, pt core.Pattern) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
+	if cfg.NetDelay != math.Trunc(cfg.NetDelay) {
+		return Result{}, fmt.Errorf("sim: RunReference needs integral NetDelay")
+	}
+	bc := cfg.Bank
+	rowsOn := bc.CacheLines > 0
+	hit, miss := int(bc.HitDelay), int(bc.MissDelay)
+	regW, regB := int(bc.RegWindow), bc.RegBudget
+	warp := bc.WarpSize
+	switch bc.Discipline {
+	case FIFO, DRAM:
+		if rowsOn && bc.HitDelay != math.Trunc(bc.HitDelay) {
+			return Result{}, fmt.Errorf("sim: RunReference needs an integral Bank.HitDelay")
+		}
+		if bc.Discipline == DRAM {
+			if bc.MissDelay != math.Trunc(bc.MissDelay) {
+				return Result{}, fmt.Errorf("sim: RunReference needs an integral Bank.MissDelay")
+			}
+			if bc.Groups > 0 {
+				return Result{}, fmt.Errorf("sim: RunReference does not model bank groups")
+			}
+		}
+	case Regulated:
+		if bc.RegWindow != math.Trunc(bc.RegWindow) {
+			return Result{}, fmt.Errorf("sim: RunReference needs an integral Bank.RegWindow")
+		}
+	case GPUShared:
+		if cfg.NetDelay < 1 {
+			return Result{}, fmt.Errorf("sim: RunReference needs NetDelay >= 1 under GPUShared")
+		}
+	}
+
 	netDelay := int(cfg.NetDelay)
 	bm := cfg.BankMap
+	gpu := bc.Discipline == GPUShared
 
+	type reqRef struct {
+		proc int
+		seq  int
+		addr uint64
+	}
 	type flight struct {
+		reqRef
 		bank   int
 		arrive int
 	}
+	type response struct {
+		proc int
+		seq  int
+		due  int
+	}
 	var inFlight []flight
-	bankQueue := make([][]int, m.Banks) // queued arrival markers (counts suffice)
+	var responses []response
+	bankQueue := make([][]reqRef, m.Banks)
 	bankBusyUntil := make([]int, m.Banks)
+	bankBusy := make([]bool, m.Banks)
+	bankRows := make([][]uint64, m.Banks)
+	regEpoch := make([]int, m.Banks)
+	regUsed := make([]int, m.Banks)
+	rowShift := rowShiftOf(bc.RowWords)
+
 	res := Result{Requests: pt.N()}
 	if pt.N() == 0 {
 		return res, nil
@@ -49,51 +105,202 @@ func RunReference(cfg Config, pt core.Pattern) (Result, error) {
 
 	g := int(m.G)
 	d := int(m.D)
-	next := make([]int, pt.Procs()) // next index to issue per proc
-	remaining := pt.N()
-	completions := 0
+	next := make([]int, pt.Procs())        // next index to issue per proc
+	outstanding := make([]int, pt.Procs()) // GPU: lanes awaiting responses
+	nextIssueAt := make([]int, pt.Procs()) // GPU: earliest next warp issue
+	type pendingInject struct {
+		proc    int
+		issueAt int
+	}
+	// GPU warps issue in the order their injections were enabled (the
+	// engine's inject events carry the sequence numbers of their
+	// scheduling), starting with every processor at clock 0.
+	var injects []pendingInject
+	if gpu {
+		for p := 0; p < pt.Procs(); p++ {
+			if len(pt.PerProc[p]) > 0 {
+				injects = append(injects, pendingInject{proc: p})
+			}
+		}
+	}
+
+	// rowAccess mirrors the engine's per-bank LRU open-row bookkeeping,
+	// reimplemented naively on purpose.
+	rowAccess := func(b int, addr uint64) bool {
+		row := addr >> rowShift
+		rows := bankRows[b]
+		for i, r := range rows {
+			if r == row {
+				bankRows[b] = append(append(rows[:i:i], rows[i+1:]...), row)
+				return true
+			}
+		}
+		if len(rows) >= bc.CacheLines {
+			rows = rows[1:]
+		}
+		bankRows[b] = append(rows, row)
+		return false
+	}
+
+	seq := 0
+	served := 0
 	lastDone := 0
 
-	for clock := 0; completions < pt.N(); clock++ {
-		if clock > pt.N()*(d+g+netDelay+4)+1000 {
+	// start begins one bank service at clock and performs the discipline's
+	// accounting; deferred starts (Regulated) hold the bank through the
+	// wait exactly as the engine does.
+	start := func(b int, r reqRef, clock int, queued bool) {
+		at := clock
+		service := d
+		switch bc.Discipline {
+		case FIFO:
+			if rowsOn && rowAccess(b, r.addr) {
+				service = hit
+				res.RowHits++
+			}
+		case DRAM:
+			if rowAccess(b, r.addr) {
+				service = hit
+				res.RowHits++
+			} else {
+				service = miss
+				res.RowConflicts++
+			}
+		case Regulated:
+			if ep := clock / regW; ep > regEpoch[b] {
+				regEpoch[b] = ep
+				regUsed[b] = 0
+			}
+			if regUsed[b] >= regB {
+				regEpoch[b]++
+				regUsed[b] = 0
+				at = regEpoch[b] * regW
+				res.ThrottleStalls++
+				res.ThrottleStallCycles += float64(at - clock)
+			}
+			regUsed[b]++
+		case GPUShared:
+			if queued {
+				res.WarpReplays++
+			}
+		}
+		bankBusy[b] = true
+		bankBusyUntil[b] = at + service
+		res.BankServices++
+		res.BankBusy += float64(service)
+		served++
+		done := at + service + netDelay
+		if done > lastDone {
+			lastDone = done
+		}
+		if gpu {
+			responses = append(responses, response{proc: r.proc, seq: r.seq, due: done})
+		}
+	}
+
+	for clock := 0; served < pt.N(); clock++ {
+		if clock > pt.N()*(d+hit+miss+regW+g+netDelay+8)+1000 {
 			return Result{}, fmt.Errorf("sim: RunReference did not converge")
 		}
-		// 1. Issue: each processor injects one request every g cycles.
-		if clock%g == 0 && remaining > 0 {
-			for p := range pt.PerProc {
-				if next[p] < len(pt.PerProc[p]) {
-					addr := pt.PerProc[p][next[p]]
-					next[p]++
-					remaining--
-					inFlight = append(inFlight, flight{bank: bm.Bank(addr), arrive: clock + netDelay})
+		// 1. Responses arrive back (GPU only — elsewhere they have no
+		// feedback). The engine dispatches same-cycle completions in
+		// request order, and a warp whose last lane returns now may issue
+		// again this very cycle.
+		if gpu && len(responses) > 0 {
+			var due []response
+			kept := responses[:0]
+			for _, r := range responses {
+				if r.due == clock {
+					due = append(due, r)
+				} else {
+					kept = append(kept, r)
+				}
+			}
+			responses = kept
+			sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+			for _, r := range due {
+				outstanding[r.proc]--
+				if outstanding[r.proc] == 0 && next[r.proc] < len(pt.PerProc[r.proc]) {
+					at := clock
+					if nextIssueAt[r.proc] > at {
+						at = nextIssueAt[r.proc]
+					}
+					injects = append(injects, pendingInject{proc: r.proc, issueAt: at})
 				}
 			}
 		}
-		// 2. Arrivals join bank queues.
+		// 2. Issue. Legacy open loop: each processor injects one request
+		// every g cycles. GPU: enabled warps inject WarpSize lanes at once,
+		// in enablement order.
+		if gpu {
+			kept := injects[:0]
+			for _, in := range injects {
+				if in.issueAt > clock {
+					kept = append(kept, in)
+					continue
+				}
+				p := in.proc
+				w := len(pt.PerProc[p]) - next[p]
+				if w > warp {
+					w = warp
+				}
+				nextIssueAt[p] = clock + g
+				for i := 0; i < w; i++ {
+					addr := pt.PerProc[p][next[p]]
+					seq++
+					next[p]++
+					outstanding[p]++
+					inFlight = append(inFlight, flight{
+						reqRef: reqRef{proc: p, seq: seq, addr: addr},
+						bank:   bm.Bank(addr), arrive: clock + netDelay,
+					})
+				}
+			}
+			injects = kept
+		} else if clock%g == 0 {
+			for p := range pt.PerProc {
+				if next[p] < len(pt.PerProc[p]) {
+					addr := pt.PerProc[p][next[p]]
+					seq++
+					next[p]++
+					inFlight = append(inFlight, flight{
+						reqRef: reqRef{proc: p, seq: seq, addr: addr},
+						bank:   bm.Bank(addr), arrive: clock + netDelay,
+					})
+				}
+			}
+		}
+		// 3. Arrivals: an idle bank starts serving on the spot; a busy one
+		// (including one whose service ends this very cycle — the engine
+		// orders arrivals before completions) queues the request.
 		kept := inFlight[:0]
 		for _, f := range inFlight {
-			if f.arrive == clock {
-				bankQueue[f.bank] = append(bankQueue[f.bank], clock)
+			if f.arrive != clock {
+				kept = append(kept, f)
+				continue
+			}
+			if bankBusy[f.bank] {
+				bankQueue[f.bank] = append(bankQueue[f.bank], f.reqRef)
 				if len(bankQueue[f.bank]) > res.MaxBankQueue {
 					res.MaxBankQueue = len(bankQueue[f.bank])
 				}
 			} else {
-				kept = append(kept, f)
+				start(f.bank, f.reqRef, clock, false)
 			}
 		}
 		inFlight = kept
-		// 3. Banks start services.
+		// 4. Banks finish services and pull from their queues; a zero-cycle
+		// service chain drains within the cycle, as the engine's same-time
+		// done events do.
 		for b := range bankQueue {
-			if len(bankQueue[b]) > 0 && bankBusyUntil[b] <= clock {
-				bankQueue[b] = bankQueue[b][1:]
-				bankBusyUntil[b] = clock + d
-				res.BankServices++
-				res.BankBusy += m.D
-				done := clock + d + netDelay
-				if done > lastDone {
-					lastDone = done
+			for bankBusy[b] && bankBusyUntil[b] == clock {
+				if len(bankQueue[b]) > 0 {
+					r := bankQueue[b][0]
+					bankQueue[b] = bankQueue[b][1:]
+					start(b, r, clock, true)
+				} else {
+					bankBusy[b] = false
 				}
-				completions++
 			}
 		}
 	}

@@ -65,11 +65,13 @@ func TestReferenceRejectsUnsupported(t *testing.T) {
 	m := core.Machine{Name: "xv", Procs: 2, Banks: 8, D: 2, G: 1, L: 0}
 	pt := core.NewPattern([]uint64{1, 2}, 2)
 	for name, cfg := range map[string]Config{
-		"window":     {Machine: m, Window: 2},
-		"combining":  {Machine: m, Combining: true},
-		"sections":   {Machine: core.Machine{Name: "s", Procs: 2, Banks: 8, D: 2, G: 1, L: 0, Sections: 2, SectionGap: 1}, UseSections: true},
-		"cache":      {Machine: m, BankCacheLines: 2},
-		"fractional": {Machine: core.Machine{Name: "f", Procs: 2, Banks: 8, D: 2.5, G: 1, L: 0}},
+		"window":         {Machine: m, Window: 2},
+		"combining":      {Machine: m, Combining: true},
+		"sections":       {Machine: core.Machine{Name: "s", Procs: 2, Banks: 8, D: 2, G: 1, L: 0, Sections: 2, SectionGap: 1}, UseSections: true},
+		"fractional":     {Machine: core.Machine{Name: "f", Procs: 2, Banks: 8, D: 2.5, G: 1, L: 0}},
+		"fractional hit": {Machine: m, Bank: BankConfig{CacheLines: 2, HitDelay: 0.5}},
+		"bank groups":    {Machine: m, Bank: BankConfig{Discipline: DRAM, Groups: 2, GroupGap: 1}},
+		"gpu no delay":   {Machine: m, Bank: BankConfig{Discipline: GPUShared}},
 	} {
 		if _, err := RunReference(cfg, pt); err == nil {
 			t.Errorf("%s accepted", name)

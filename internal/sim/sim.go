@@ -1,26 +1,3 @@
-// Package sim is a deterministic, cycle-level, discrete-event simulator of
-// the memory system of a high-bandwidth shared-memory multiprocessor — the
-// stand-in for the Cray C90 and J90 on which the paper's experiments ran.
-//
-// The simulated machine consists of:
-//
-//   - p processors, each issuing the requests of a bulk (vectorized)
-//     scatter/gather in order, one injection every g cycles;
-//   - a network that delivers a request to its memory bank after a fixed
-//     transit delay, optionally passing through one of a small number of
-//     network sections, each of which can accept at most one request every
-//     SectionGap cycles (this finite section bandwidth reproduces the
-//     paper's "version (c)" congestion anomaly);
-//   - x*p memory banks, each a FIFO server that is busy for d cycles per
-//     request (optionally combining simultaneous requests to the same
-//     address, which the paper's machines do NOT do — the switch exists for
-//     the ablation study);
-//   - responses that return to the issuing processor after the same transit
-//     delay, closing the loop when a per-processor window of outstanding
-//     requests is configured.
-//
-// The simulator is event-driven with deterministic tie-breaking, so a given
-// configuration and pattern always produce the identical cycle count.
 package sim
 
 import (
@@ -55,19 +32,33 @@ type Config struct {
 	// Machine.Sections > 1.
 	UseSections bool
 
+	// Bank selects and parameterizes the bank service discipline; the
+	// zero value is the paper's FIFO bank. See BankConfig.
+	Bank BankConfig
+
 	// BankCacheLines enables the cached-DRAM bank organization studied by
 	// Hsu and Smith [HS93] (and available on the Tera), which the paper
 	// cites as a refinement the (d,x)-BSP omits: each bank keeps an LRU
 	// buffer of the most recent BankCacheLines rows; an access that hits a
 	// buffered row is serviced in BankHitDelay cycles instead of d.
 	// 0 disables caching (the paper's machines).
+	//
+	// Deprecated: set Bank.CacheLines. Normalize folds this field into
+	// the Bank sub-config (it is ignored when Bank already configures row
+	// buffers), so existing callers and cache fingerprints are unchanged.
 	BankCacheLines int
 
 	// BankHitDelay is the service time of a row-buffer hit. Defaults to 1.
+	//
+	// Deprecated: set Bank.HitDelay; see BankCacheLines.
 	BankHitDelay float64
 
 	// BankRowShift is log2 of the row size in words: addresses sharing
 	// addr>>BankRowShift are in the same row. Defaults to 5 (32 words).
+	//
+	// Deprecated: set Bank.RowWords, whose explicit set/unset encoding
+	// (0 = default) also makes the 1-word row this field could not
+	// express representable; see BankCacheLines.
 	BankRowShift uint
 
 	// Probe, when non-nil, receives per-event observations of the run
@@ -91,26 +82,37 @@ func (e *ConfigError) Error() string {
 }
 
 // Normalize returns a copy of c with the documented defaults applied in one
-// place: an interleaved BankMap over Machine.Banks, NetDelay = Machine.L/2,
-// and (when bank caching is enabled) BankHitDelay = 1 and BankRowShift = 5.
+// place: a BankMap over Machine.Banks (interleaved, or GPU word-interleaved
+// under the GPUShared discipline), NetDelay = Machine.L/2, the deprecated
+// BankCacheLines/BankHitDelay/BankRowShift fields folded into the Bank
+// sub-config, and the per-discipline Bank defaults (see BankConfig).
 // Run normalizes internally; callers that fingerprint or compare configs
 // (the runner's memo cache) call Normalize so that a default-valued config
 // and an explicitly-defaulted one are identical.
 func (c Config) Normalize() Config {
 	if c.BankMap == nil {
-		c.BankMap = core.InterleaveMap{Banks: c.Machine.Banks}
+		if c.Bank.Discipline == GPUShared {
+			c.BankMap = core.GPUSharedMap{Banks: c.Machine.Banks}
+		} else {
+			c.BankMap = core.InterleaveMap{Banks: c.Machine.Banks}
+		}
 	}
 	if c.NetDelay == 0 {
 		c.NetDelay = c.Machine.L / 2
 	}
-	if c.BankCacheLines > 0 {
-		if c.BankHitDelay == 0 {
-			c.BankHitDelay = 1
+	// Fold the deprecated HS93 fields into the sub-config. The fold fires
+	// only when the sub-config does not already configure row buffers, so
+	// normalizing twice is the identity and an explicit Bank setting wins.
+	if c.Bank.Discipline == FIFO && c.Bank.CacheLines == 0 && c.BankCacheLines > 0 {
+		c.Bank.CacheLines = c.BankCacheLines
+		if c.Bank.HitDelay == 0 {
+			c.Bank.HitDelay = c.BankHitDelay
 		}
-		if c.BankRowShift == 0 {
-			c.BankRowShift = 5
+		if c.Bank.RowWords == 0 && c.BankRowShift > 0 && c.BankRowShift < 64 {
+			c.Bank.RowWords = 1 << c.BankRowShift
 		}
 	}
+	c.Bank = c.Bank.normalize(c.Machine)
 	return c
 }
 
@@ -130,6 +132,9 @@ func (c Config) Validate() error {
 		return &ConfigError{Field: "BankHitDelay", Reason: fmt.Sprintf("must be >= 0, got %g", c.BankHitDelay)}
 	case c.BankCacheLines > 0 && c.BankRowShift >= 64:
 		return &ConfigError{Field: "BankRowShift", Reason: fmt.Sprintf("must be < 64, got %d", c.BankRowShift)}
+	}
+	if err := c.validateBank(); err != nil {
+		return err
 	}
 	if c.BankMap != nil && c.BankMap.NumBanks() != c.Machine.Banks {
 		return &ConfigError{Field: "BankMap", Reason: fmt.Sprintf("covers %d banks, machine has %d",
@@ -157,8 +162,20 @@ type Result struct {
 	// BankBusy is the total busy time summed over banks.
 	BankBusy float64
 	// RowHits counts bank services satisfied from the row buffer (always 0
-	// unless Config.BankCacheLines > 0).
+	// unless row buffers are on: FIFO with Bank.CacheLines > 0, or DRAM).
 	RowHits int
+	// RowConflicts counts DRAM services that missed every open row and
+	// paid Bank.MissDelay (always 0 outside the DRAM discipline).
+	RowConflicts int
+	// ThrottleStalls counts bank services the Regulated discipline
+	// deferred to the next regulation window; ThrottleStallCycles is the
+	// total time those services waited (always 0 outside Regulated).
+	ThrottleStalls      int
+	ThrottleStallCycles float64
+	// WarpReplays counts GPUShared services that had to replay — wait in
+	// a bank's line behind a conflicting lane of the same or an earlier
+	// warp — rather than start on arrival (always 0 outside GPUShared).
+	WarpReplays int
 }
 
 // CyclesPerElement returns processor-cycles per element, the unit the
@@ -253,12 +270,39 @@ type engine struct {
 
 	res       Result
 	bankServe []int
-	// rowsOn gates the cached-DRAM ablation; bankRows storage is retained
-	// across resets even when a run has caching off, so alternating
-	// configurations on a reused engine do not reallocate.
+	// rowsOn gates the row-buffer paths (FIFO+CacheLines and DRAM);
+	// bankRows storage is retained across resets even when a run has row
+	// buffers off, so alternating configurations on a reused engine do
+	// not reallocate. rowShift and rowLines are resolved from the Bank
+	// sub-config at reset so rowAccess does no per-event config decoding.
 	rowsOn   bool
+	rowShift uint
+	rowLines int
 	bankRows [][]uint64 // per-bank LRU row buffer
 	lastDone float64
+
+	// disc is the service discipline tag, resolved once per reset; the
+	// hot path switches on it and never makes an interface call per
+	// event (DESIGN.md §12). The per-discipline state below is retained
+	// across resets like every other arena.
+	disc Discipline
+
+	// DRAM bank-group gating: group g admits no service start before
+	// groupReady[g].
+	groupGapOn    bool
+	banksPerGroup int
+	groupReady    []float64
+
+	// Regulated: per-bank window accounting. regEpoch[b] is the index of
+	// the regulation window bank b last charged, regUsed[b] the services
+	// started in it.
+	regWindow float64
+	regBudget int32
+	regEpoch  []int64
+	regUsed   []int32
+
+	// GPUShared: lanes per warp.
+	warpSize int
 }
 
 // sectionOf maps a bank to its network section.
@@ -309,21 +353,41 @@ func Run(cfg Config, pt core.Pattern) (Result, error) {
 // engine.release), so the pool never pins a caller's pattern or probe.
 var enginePool = sync.Pool{New: func() any { return new(Engine) }}
 
+// AcquireEngine borrows an Engine from the package pool that Run and
+// RunContext draw from — warm in the steady state, so the borrow costs no
+// allocation. Callers that issue many runs from one goroutine (a worker
+// loop, a benchmark) can hold the engine across all of them instead of
+// paying a pool round-trip per run. Every AcquireEngine must be paired
+// with ReleaseEngine; an engine is single-run at a time (see Engine).
+func AcquireEngine() *Engine {
+	return enginePool.Get().(*Engine)
+}
+
+// ReleaseEngine returns an acquired engine to the package pool. It first
+// drops every reference the engine borrowed from its last run's inputs
+// (pattern slices, probe, bank map), so a parked engine pins only its own
+// retained arenas, never the caller's data. The engine must not be used
+// after release.
+func ReleaseEngine(e *Engine) {
+	e.eng.release()
+	enginePool.Put(e)
+}
+
 // RunContext is Run with cooperative cancellation: the event loop polls
 // ctx every cancelCheckEvents events, so timeouts, retries and chaos
 // cancellation interrupt a simulation mid-flight instead of waiting for
 // it to finish. Polling reads no simulation state, so an uncancelled
 // RunContext produces cycle counts byte-identical to Run.
 //
-// Runs execute on pooled engines: Engine.Reset re-arms every piece of
-// retained state over its full new extent, so reuse is invisible —
-// results are byte-identical to a fresh engine's — and the steady-state
-// allocation cost of a run is ~0 (TestProbesOffAllocBudget pins it).
+// Runs execute on pooled engines (AcquireEngine/ReleaseEngine):
+// Engine.Reset re-arms every piece of retained state over its full new
+// extent, so reuse is invisible — results are byte-identical to a fresh
+// engine's — and the steady-state allocation cost of a run is ~0
+// (TestProbesOffAllocBudget pins it).
 func RunContext(ctx context.Context, cfg Config, pt core.Pattern) (Result, error) {
-	e := enginePool.Get().(*Engine)
+	e := AcquireEngine()
 	res, err := e.Run(ctx, cfg, pt)
-	e.eng.release()
-	enginePool.Put(e)
+	ReleaseEngine(e)
 	return res, err
 }
 
@@ -381,6 +445,10 @@ func (e *engine) dispatch(ev event) {
 }
 
 func (e *engine) inject(p int, now float64) {
+	if e.disc == GPUShared {
+		e.injectWarp(p, now)
+		return
+	}
 	ps := &e.procs[p]
 	if ps.next >= len(ps.addrs) {
 		return
@@ -408,6 +476,32 @@ func (e *engine) inject(p int, now float64) {
 
 	if ps.next < len(ps.addrs) {
 		e.sched(event{time: ps.nextIssueAt, seq: e.nextSeq(), kind: evInject, proc: int32(p)})
+	}
+}
+
+// injectWarp is the GPUShared issue rule: processor p injects the next
+// WarpSize requests of its stream as one warp-synchronous memory access.
+// All lanes enter the network at now; the next warp is scheduled from
+// complete once every lane's response has returned (outstanding == 0),
+// no earlier than one issue gap after this one. Sections and windows are
+// rejected by Validate, so lanes route straight to their banks.
+func (e *engine) injectWarp(p int, now float64) {
+	ps := &e.procs[p]
+	w := len(ps.addrs) - ps.next
+	if w <= 0 {
+		return
+	}
+	if w > e.warpSize {
+		w = e.warpSize
+	}
+	ps.nextIssueAt = now + e.cfg.Machine.G
+	for i := 0; i < w; i++ {
+		addr := ps.addrs[ps.next]
+		req := request{proc: p, seq: e.nextSeq(), addr: addr, bank: e.bm.Bank(addr)}
+		ps.next++
+		ps.outstanding++
+		e.sched(event{time: now + e.cfg.NetDelay, seq: req.seq, kind: evBankArrive,
+			proc: int32(req.proc), addr: req.addr, bank: int32(req.bank)})
 	}
 }
 
@@ -458,17 +552,64 @@ func (e *engine) bankArrive(req request, now float64) {
 	e.startBank(req.bank, req, now, false)
 }
 
+// startBank begins a bank service. The discipline decides the service
+// time and the actual start instant; the switch on e.disc is the whole
+// dispatch — resolved to a tag at reset, monomorphic in the loop — so
+// adding a discipline costs FIFO nothing (DESIGN.md §12). start may
+// trail now when the discipline defers the request (a bank-group bus
+// slot under DRAM, an exhausted regulation window under Regulated); the
+// bank is occupied for the deferral, exactly as real hardware holds the
+// banked resource while it waits for its turn.
 func (e *engine) startBank(bank int, req request, now float64, queued bool) {
 	b := &e.banks[bank]
 	b.busy = true
+	start := now
 	service := e.cfg.Machine.D
 	rowHit := false
-	if e.rowsOn && e.rowAccess(bank, req.addr) {
-		service = e.cfg.BankHitDelay
-		rowHit = true
-		e.res.RowHits++
+	switch e.disc {
+	case FIFO:
+		if e.rowsOn && e.rowAccess(bank, req.addr) {
+			service = e.cfg.Bank.HitDelay
+			rowHit = true
+			e.res.RowHits++
+		}
+	case DRAM:
+		if e.rowAccess(bank, req.addr) {
+			service = e.cfg.Bank.HitDelay
+			rowHit = true
+			e.res.RowHits++
+		} else {
+			service = e.cfg.Bank.MissDelay
+			e.res.RowConflicts++
+		}
+		if e.groupGapOn {
+			g := bank / e.banksPerGroup
+			if t := e.groupReady[g]; t > start {
+				start = t
+			}
+			e.groupReady[g] = start + e.cfg.Bank.GroupGap
+		}
+	case Regulated:
+		ep := int64(now / e.regWindow)
+		if ep > e.regEpoch[bank] {
+			e.regEpoch[bank] = ep
+			e.regUsed[bank] = 0
+		}
+		if e.regUsed[bank] >= e.regBudget {
+			// Budget exhausted: hold the bank until the next window opens.
+			e.regEpoch[bank]++
+			e.regUsed[bank] = 0
+			start = float64(e.regEpoch[bank]) * e.regWindow
+			e.res.ThrottleStalls++
+			e.res.ThrottleStallCycles += start - now
+		}
+		e.regUsed[bank]++
+	case GPUShared:
+		if queued {
+			e.res.WarpReplays++
+		}
 	}
-	done := now + service
+	done := start + service
 	e.res.BankServices++
 	e.res.BankBusy += service
 	e.bankServe[bank]++
@@ -486,7 +627,7 @@ func (e *engine) startBank(bank int, req request, now float64, queued bool) {
 		}
 	}
 	if e.rp != nil {
-		e.rp.BankStart(bank, now, service, rowHit, queued, combined)
+		e.rp.BankStart(bank, start, service, start-now, rowHit, queued, combined)
 	}
 	e.sched(event{time: done, seq: req.seq, kind: evBankDone, idx: int32(bank)})
 }
@@ -514,7 +655,7 @@ func (e *engine) respond(req request, done float64) {
 // rowAccess reports whether addr's row is in bank's row buffer and
 // updates the LRU state (most recent row at the end).
 func (e *engine) rowAccess(bank int, addr uint64) bool {
-	row := addr >> e.cfg.BankRowShift
+	row := addr >> e.rowShift
 	rows := e.bankRows[bank]
 	for i, r := range rows {
 		if r == row {
@@ -524,7 +665,7 @@ func (e *engine) rowAccess(bank int, addr uint64) bool {
 			return true
 		}
 	}
-	if len(rows) < e.cfg.BankCacheLines {
+	if len(rows) < e.rowLines {
 		e.bankRows[bank] = append(rows, row)
 	} else {
 		copy(rows, rows[1:])
@@ -548,6 +689,18 @@ func (e *engine) complete(p int, now float64) {
 	ps.completed++
 	if now > e.lastDone {
 		e.lastDone = now
+	}
+	if e.disc == GPUShared {
+		// Warp barrier: the next warp issues only once every lane of the
+		// current one has returned, no earlier than the issue gap allows.
+		if ps.outstanding == 0 && ps.next < len(ps.addrs) {
+			t := now
+			if ps.nextIssueAt > t {
+				t = ps.nextIssueAt
+			}
+			e.sched(event{time: t, seq: e.nextSeq(), kind: evInject, proc: int32(p)})
+		}
+		return
 	}
 	if ps.blocked {
 		ps.blocked = false

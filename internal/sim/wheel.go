@@ -62,12 +62,36 @@ const (
 // slightly wider wheel for immunity to any one increment being combined
 // with another (a bank completion is service + NetDelay from the start
 // that scheduled it).
+//
+// Disciplines that defer a service start beyond the dispatching event
+// widen the horizon by their worst-case deferral: a Regulated bank holds
+// a request at most one full regulation window; a DRAM bank group can
+// chain at most one GroupGap deferral per bank in the group before the
+// chained starts are themselves in the future (each start advances the
+// group's ready time by GroupGap, and a bank contributes at most one
+// start per instant because it stays busy through its own service).
 func schedHorizon(cfg Config) float64 {
+	b := cfg.Bank
 	service := cfg.Machine.D
-	if cfg.BankCacheLines > 0 && cfg.BankHitDelay > service {
-		service = cfg.BankHitDelay
+	hold := 0.0
+	switch b.Discipline {
+	case FIFO:
+		if b.CacheLines > 0 && b.HitDelay > service {
+			service = b.HitDelay
+		}
+	case DRAM:
+		service = b.HitDelay
+		if b.MissDelay > service {
+			service = b.MissDelay
+		}
+		if b.Groups > 0 && b.GroupGap > 0 {
+			banksPerGroup := (cfg.Machine.Banks + b.Groups - 1) / b.Groups
+			hold = float64(banksPerGroup) * b.GroupGap
+		}
+	case Regulated:
+		hold = b.RegWindow
 	}
-	h := cfg.Machine.G + service + 2*cfg.NetDelay
+	h := cfg.Machine.G + service + hold + 2*cfg.NetDelay
 	if cfg.UseSections && cfg.Machine.Sections > 1 {
 		h += cfg.Machine.SectionGap
 	}

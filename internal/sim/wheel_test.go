@@ -12,13 +12,17 @@ import (
 // TestWheelVsHeapDifferential is the tentpole equivalence check for the
 // calendar-queue scheduler: the same engine run twice — once forced onto
 // the retained 4-ary heap, once on the wheel — over a broad sweep of
-// random (p, x, d, g, Window, NetDelay, sections, combining, caching)
+// random (p, x, d, g, Window, NetDelay, sections, combining, discipline)
 // configurations, asserting byte-identical Results. The pop order is
 // load-bearing (memo cache, checkpoint journal key on cycle counts), so
 // any divergence here is a correctness bug, not a tolerance question.
+// Half the configs run a non-FIFO discipline with fully random knobs —
+// including fractional delays and DRAM bank groups, which the
+// time-stepped oracle cannot model — so this is the broadest coverage of
+// the discipline hot paths.
 func TestWheelVsHeapDifferential(t *testing.T) {
 	g := rng.New(0xD1FFE12E)
-	const configs = 96 // ≥ 64 per the regression contract
+	const configs = 160 // ≥ 64 per the regression contract, ~20 per discipline
 	for i := 0; i < configs; i++ {
 		p := 1 + g.Intn(16)
 		x := 1 + g.Intn(16)
@@ -49,6 +53,36 @@ func TestWheelVsHeapDifferential(t *testing.T) {
 		if g.Intn(4) == 0 {
 			cfg.BankCacheLines = 1 + g.Intn(4)
 			cfg.BankHitDelay = float64(1+g.Intn(4)) / 2
+		}
+		// Half the configs swap in a non-FIFO discipline; the draws respect
+		// Validate's per-discipline knob rules (no legacy cache fields, and
+		// GPUShared forbids windows, combining and sections).
+		switch g.Intn(8) {
+		case 0, 1:
+			cfg.BankCacheLines, cfg.BankHitDelay = 0, 0
+			cfg.Bank = BankConfig{
+				Discipline: DRAM,
+				CacheLines: 1 + g.Intn(3),
+				HitDelay:   float64(1+g.Intn(8)) / 4,
+				MissDelay:  float64(1+g.Intn(64)) / 4,
+				RowWords:   1 << g.Intn(7),
+			}
+			if g.Intn(2) == 0 {
+				cfg.Bank.Groups = 1 + g.Intn(cfg.Machine.Banks)
+				cfg.Bank.GroupGap = float64(1+g.Intn(8)) / 4
+			}
+		case 2, 3:
+			cfg.BankCacheLines, cfg.BankHitDelay = 0, 0
+			cfg.Bank = BankConfig{
+				Discipline: Regulated,
+				RegWindow:  float64(1+g.Intn(64)) / 4,
+				RegBudget:  1 + g.Intn(4),
+			}
+		case 4, 5:
+			cfg.Machine.Sections, cfg.Machine.SectionGap = 0, 0
+			cfg.Window, cfg.Combining, cfg.UseSections = 0, false, false
+			cfg.BankCacheLines, cfg.BankHitDelay = 0, 0
+			cfg.Bank = BankConfig{Discipline: GPUShared, WarpSize: 1 + g.Intn(32)}
 		}
 		n := 1 << (6 + g.Intn(6))
 		pt := core.NewPattern(patterns.Uniform(n, 1<<20, g.Split()), p)
@@ -172,6 +206,9 @@ func TestEngineReuseZeroAllocs(t *testing.T) {
 		{"open-loop", Config{Machine: m}},
 		{"windowed", Config{Machine: m, Window: 8}},
 		{"sections", Config{Machine: m, UseSections: true}},
+		{"dram", Config{Machine: m, Bank: BankConfig{Discipline: DRAM, Groups: 16, GroupGap: 0.5}}},
+		{"regulated", Config{Machine: m, Bank: BankConfig{Discipline: Regulated}}},
+		{"gpu", Config{Machine: m, Bank: BankConfig{Discipline: GPUShared}}},
 	} {
 		e := NewEngine()
 		if _, err := e.Run(context.Background(), tc.cfg, pt); err != nil {
