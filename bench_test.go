@@ -11,7 +11,9 @@ package dxbsp
 // custom metric so regressions in *shape* (not just speed) are visible.
 
 import (
+	"context"
 	"io"
+	"sync"
 	"testing"
 
 	"dxbsp/internal/algos"
@@ -23,6 +25,7 @@ import (
 	"dxbsp/internal/rng"
 	"dxbsp/internal/runner"
 	"dxbsp/internal/sim"
+	"dxbsp/internal/sweep"
 	"dxbsp/internal/vector"
 )
 
@@ -438,3 +441,52 @@ func BenchmarkConnectedComponents(b *testing.B) {
 		algos.ConnectedComponents(vm, gr, rng.New(9))
 	}
 }
+
+// --- Distributed sweep ----------------------------------------------------
+
+// benchSweepExpansion measures the wall clock of the expansion study (F6)
+// executed as a `ways`-way static shard sweep: each shard runs on its own
+// single-worker runner with its own journal (the process-per-shard shape,
+// compressed into goroutines), then the shard journals merge. 1-way vs
+// 4-way is the headline sweep wall-clock entry in BENCH_history.json.
+// At quick scale the comparison is skew-bound — F6's largest expansion
+// point dominates the wall clock, so 4-way ≈ 1-way; the entry records
+// the coordination overhead staying in the noise, and the speedup story
+// belongs to paper-scale grids where no single point dominates.
+func benchSweepExpansion(b *testing.B, ways int) {
+	cfg := benchConfig()
+	e, ok := experiments.Lookup("F6")
+	if !ok {
+		b.Fatal("unknown experiment F6")
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		var wg sync.WaitGroup
+		for s := 0; s < ways; s++ {
+			wg.Add(1)
+			go func(s int) {
+				defer wg.Done()
+				r := &runner.Runner{Parallel: 1, Cache: runner.NewCache()}
+				j, err := runner.OpenJournalFile(dir, runner.ShardJournalName(s, ways), false, nil)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				defer j.Close()
+				r.Cache.Journal = j
+				sh := sweep.Shard{Index: s, Count: ways}
+				if _, err := r.RunExperiment(context.Background(), sweep.Apply(e, sh), cfg); err != nil {
+					b.Error(err)
+				}
+			}(s)
+		}
+		wg.Wait()
+		if _, err := sweep.Merge(dir, io.Discard); err != nil {
+			b.Error(err)
+		}
+	}
+}
+
+func BenchmarkSweepExpansion1Way(b *testing.B) { benchSweepExpansion(b, 1) }
+func BenchmarkSweepExpansion4Way(b *testing.B) { benchSweepExpansion(b, 4) }

@@ -19,6 +19,10 @@
 //	dxbench -chaos error=0.1 # deterministic fault injection (chaos testing)
 //	dxbench -checkpoint DIR  # journal results for crash-safe resume
 //	dxbench -checkpoint DIR -resume  # resume from a prior journal
+//	dxbench -checkpoint DIR -shard 1/4   # static shard: every 4th point
+//	dxbench -merge DIR               # merge shard/worker journals
+//	dxbench -checkpoint DIR -coordinate  # supervise a distributed sweep
+//	dxbench -checkpoint DIR -worker -worker-id a  # claim and run ranges
 //	dxbench -metrics         # append bank heatmap + metric series report
 //	dxbench -metrics-out m.json      # export metrics (JSON; .om/.txt: OpenMetrics)
 //	dxbench -cpuprofile cpu.pprof    # CPU profile of the run (go tool pprof)
@@ -57,6 +61,7 @@ import (
 	"dxbsp/internal/faults"
 	"dxbsp/internal/runner"
 	"dxbsp/internal/sim"
+	"dxbsp/internal/sweep"
 	"dxbsp/internal/tablefmt"
 )
 
@@ -102,6 +107,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		checkpoint = fs.String("checkpoint", "", "journal completed simulations to this directory")
 		resume     = fs.Bool("resume", false, "reuse results from an existing -checkpoint journal")
 
+		shardSpec  = fs.String("shard", "", "run one static shard i/n of every experiment's points, journaling to a per-shard file (requires -checkpoint)")
+		mergeDir   = fs.String("merge", "", "merge the shard and worker journals in this directory into journal.jsonl, then exit")
+		coordinate = fs.Bool("coordinate", false, "coordinate a distributed sweep over the -checkpoint directory, then render the merged output")
+		workerMode = fs.Bool("worker", false, "join a distributed sweep over the -checkpoint directory as a worker")
+		workerID   = fs.String("worker-id", "", "worker name for leases and journal files (default: derived from the process id)")
+		leaseTTL   = fs.Duration("lease-ttl", 10*time.Second, "lease time-to-live for distributed sweep ranges")
+		chunk      = fs.Int("chunk", 0, "points per manifest range for -coordinate (default 4)")
+
 		showMetrics = fs.Bool("metrics", false, "append an observability report: bank heatmap, metric series, cycle summary")
 		metricsOut  = fs.String("metrics-out", "", "export metric series to this file (.json: JSON, otherwise OpenMetrics text)")
 	)
@@ -118,6 +131,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *checkpoint != "" && *nocache {
 		fmt.Fprintln(stderr, "dxbench: -checkpoint requires the cache; drop -nocache")
+		return exitHard
+	}
+	sweepModes := 0
+	for _, on := range []bool{*shardSpec != "", *mergeDir != "", *coordinate, *workerMode} {
+		if on {
+			sweepModes++
+		}
+	}
+	if sweepModes > 1 {
+		fmt.Fprintln(stderr, "dxbench: -shard, -merge, -coordinate and -worker are mutually exclusive")
+		return exitHard
+	}
+	var shard sweep.Shard
+	if *shardSpec != "" {
+		var err error
+		if shard, err = sweep.ParseShard(*shardSpec); err != nil {
+			fmt.Fprintf(stderr, "dxbench: %v\n", err)
+			return exitHard
+		}
+	}
+	if (*shardSpec != "" || *coordinate || *workerMode) && *checkpoint == "" {
+		fmt.Fprintln(stderr, "dxbench: -shard, -coordinate and -worker require -checkpoint")
+		return exitHard
+	}
+	if (*coordinate || *workerMode) && *resume {
+		fmt.Fprintln(stderr, "dxbench: -resume does not apply to -coordinate or -worker; workers resume their own journals automatically")
+		return exitHard
+	}
+	if sweepModes > 0 && (*showMetrics || *metricsOut != "") {
+		fmt.Fprintln(stderr, "dxbench: -metrics is not available in sweep modes; render metrics afterwards with -checkpoint DIR -resume -metrics")
 		return exitHard
 	}
 
@@ -249,6 +292,35 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	if *mergeDir != "" {
+		return runMergeMode(*mergeDir, stdout, stderr)
+	}
+	if *shardSpec != "" || *coordinate || *workerMode {
+		id := *workerID
+		if id == "" {
+			id = fmt.Sprintf("w%d", os.Getpid())
+		}
+		env := &sweepEnv{cfg: cfg, todo: todo, r: r, injector: injector,
+			dir: *checkpoint, resume: *resume, leaseTTL: *leaseTTL, chunk: *chunk,
+			workerID: id, format: *format, logx: *logx, logy: *logy,
+			timing: *timing, stdout: stdout, stderr: stderr}
+		switch {
+		case *shardSpec != "":
+			return runShardMode(ctx, env, shard)
+		case *coordinate:
+			return runCoordinatorMode(ctx, env)
+		default:
+			return runWorkerMode(ctx, env)
+		}
+	}
+
 	if *checkpoint != "" {
 		journal, err := runner.OpenJournal(*checkpoint, *resume, stderr)
 		if err != nil {
@@ -265,13 +337,6 @@ func run(args []string, stdout, stderr io.Writer) int {
 			r.Events.Emit(runner.Event{Type: "checkpoint_loaded",
 				CheckpointEntries: js.Loaded, CheckpointSkipped: js.Skipped})
 		}
-	}
-
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
 	}
 
 	results := make([]runner.Result, 0, len(todo))

@@ -9,6 +9,7 @@
 //	dxsim -machine J90 -pattern entropy -rounds 4 -hash linear
 //	dxsim -machine J90 -pattern stride -stride 512
 //	dxsim -machine J90 -pattern stride -stride 3 -discipline dram
+//	dxsim -journal runs/ckpt/journal.shard-0-of-4.jsonl
 //
 // Patterns: contention (k duplicates/location), uniform (over [0,m)),
 // entropy (Thearling–Smith with -rounds AND rounds), stride, allsame,
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"dxbsp/internal/core"
 	"dxbsp/internal/hashfn"
@@ -50,8 +52,14 @@ func main() {
 		discName = flag.String("discipline", "fifo", "bank service discipline: fifo, dram, regulated, gpu")
 		zipfS    = flag.Float64("s", 1.1, "Zipf exponent for -pattern zipf")
 		metricsF = flag.Bool("metrics", false, "append the observability report: bank heatmap + metric series")
+		journalF = flag.String("journal", "", "inspect a checkpoint journal file and exit")
 	)
 	flag.Parse()
+
+	if *journalF != "" {
+		inspectJournal(*journalF)
+		return
+	}
 
 	mach, ok := core.LookupMachine(*machine)
 	if !ok {
@@ -165,6 +173,46 @@ func main() {
 		if err := obs.WriteReport(os.Stdout); err != nil {
 			fail("%v", err)
 		}
+	}
+}
+
+// inspectJournal summarizes a checkpoint journal: who produced it (shard,
+// worker, or a plain single-process run), which sweep configuration it
+// fingerprints, and how many records it holds. Corrupt records are counted
+// and warned about on stderr with their byte offsets, same as on resume —
+// this is the quickest way to triage a journal a sweep refuses to merge.
+func inspectJournal(path string) {
+	if _, err := os.Stat(path); err != nil {
+		fail("%v", err)
+	}
+	entries, hdr, skipped, err := runner.ReadJournalFile(path, os.Stderr)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("journal    %s\n", path)
+	switch {
+	case hdr == nil:
+		fmt.Printf("producer   none recorded (plain -checkpoint run or merged journal)\n")
+	case hdr.Worker != "":
+		fmt.Printf("producer   worker %q\n", hdr.Worker)
+	case hdr.Of > 0:
+		fmt.Printf("producer   shard %d/%d\n", hdr.Shard, hdr.Of)
+	default:
+		fmt.Printf("producer   unsharded\n")
+	}
+	if hdr != nil && hdr.Config != "" {
+		fmt.Printf("config     %s\n", hdr.Config)
+	}
+	pats := map[string]struct{}{}
+	for k := range entries {
+		if i := strings.LastIndex(k, "|pt="); i >= 0 {
+			pats[k[i+4:]] = struct{}{}
+		}
+	}
+	fmt.Printf("records    %d  (%d corrupt skipped, %d distinct patterns)\n",
+		len(entries), skipped, len(pats))
+	if skipped > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"os"
 	"strconv"
 	"strings"
 	"sync"
@@ -52,12 +53,27 @@ type Spec struct {
 	// Corrupt is the rate of checkpoint-journal record corruption (applied
 	// by CorruptRecord, independent of the call-level rates).
 	Corrupt float64
+	// Torn is the rate of torn checkpoint-journal writes: the record is
+	// truncated mid-line on its way to disk, as if the process died with
+	// the write half-flushed. Applied by CorruptRecord alongside Corrupt;
+	// the journal's checksum must turn both into recomputes.
+	Torn float64
 	// MaxDelay bounds injected delays. Defaults to 2ms.
 	MaxDelay time.Duration
 	// Repeat is the maximum number of faulting calls per simulation key.
 	// Values < 1 mean the default of 1: a key faults at most once, so a
 	// retry always succeeds.
 	Repeat int
+
+	// KillAfter, when positive, is process-level chaos: after that many
+	// checkpoint-journal appends the process SIGKILLs itself — a
+	// deterministic stand-in for `kill -9` mid-sweep. Wire it up via
+	// KillOnAppend; only sweep workers and chaos harnesses should.
+	KillAfter int
+	// StallHeartbeat is process-level chaos for the distributed sweep: the
+	// worker claims leases but never renews them, so the coordinator must
+	// reclaim its ranges even though the process is still alive.
+	StallHeartbeat bool
 }
 
 func (s Spec) maxDelay() time.Duration {
@@ -79,7 +95,7 @@ func (s Spec) Validate() error {
 	for _, r := range []struct {
 		name string
 		v    float64
-	}{{"panic", s.Panic}, {"error", s.Error}, {"delay", s.Delay}, {"cancel", s.Cancel}, {"corrupt", s.Corrupt}} {
+	}{{"panic", s.Panic}, {"error", s.Error}, {"delay", s.Delay}, {"cancel", s.Cancel}, {"corrupt", s.Corrupt}, {"torn", s.Torn}} {
 		if r.v < 0 || r.v > 1 {
 			return fmt.Errorf("faults: %s rate %g outside [0, 1]", r.name, r.v)
 		}
@@ -87,13 +103,21 @@ func (s Spec) Validate() error {
 	if sum := s.Panic + s.Error + s.Delay + s.Cancel; sum > 1 {
 		return fmt.Errorf("faults: call fault rates sum to %g > 1", sum)
 	}
+	if sum := s.Corrupt + s.Torn; sum > 1 {
+		return fmt.Errorf("faults: record fault rates sum to %g > 1", sum)
+	}
+	if s.KillAfter < 0 {
+		return fmt.Errorf("faults: kill count %d negative", s.KillAfter)
+	}
 	return nil
 }
 
 // ParseSpec parses a -chaos specification: either a bare rate ("0.1",
 // shorthand for error=0.1) or comma-separated k=v pairs with keys panic,
-// error, delay, cancel, corrupt (rates), seed (uint), maxdelay (duration)
-// and repeat (int). Example: "error=0.1,cancel=0.05,seed=7".
+// error, delay, cancel, corrupt, torn (rates), seed (uint), maxdelay
+// (duration), repeat (int), and the process-level keys kill (SIGKILL self
+// after N journal appends) and stallhb (1: claim sweep leases but never
+// renew them). Example: "error=0.1,cancel=0.05,seed=7".
 func ParseSpec(arg string) (Spec, error) {
 	var s Spec
 	arg = strings.TrimSpace(arg)
@@ -111,7 +135,7 @@ func ParseSpec(arg string) (Spec, error) {
 		}
 		var err error
 		switch k {
-		case "panic", "error", "delay", "cancel", "corrupt":
+		case "panic", "error", "delay", "cancel", "corrupt", "torn":
 			var rate float64
 			if rate, err = strconv.ParseFloat(v, 64); err == nil {
 				switch k {
@@ -125,6 +149,8 @@ func ParseSpec(arg string) (Spec, error) {
 					s.Cancel = rate
 				case "corrupt":
 					s.Corrupt = rate
+				case "torn":
+					s.Torn = rate
 				}
 			}
 		case "seed":
@@ -133,6 +159,13 @@ func ParseSpec(arg string) (Spec, error) {
 			s.MaxDelay, err = time.ParseDuration(v)
 		case "repeat":
 			s.Repeat, err = strconv.Atoi(v)
+		case "kill":
+			s.KillAfter, err = strconv.Atoi(v)
+		case "stallhb":
+			var b bool
+			if b, err = strconv.ParseBool(v); err == nil {
+				s.StallHeartbeat = b
+			}
 		default:
 			return s, fmt.Errorf("faults: unknown key %q", k)
 		}
@@ -174,12 +207,12 @@ func (p Panic) String() string { return "injected panic fault" }
 
 // Stats counts injected faults by kind.
 type Stats struct {
-	Panics, Errors, Delays, Cancels, Corrupted uint64
+	Panics, Errors, Delays, Cancels, Corrupted, Torn uint64
 }
 
 // Total returns the number of injected faults of all kinds.
 func (s Stats) Total() uint64 {
-	return s.Panics + s.Errors + s.Delays + s.Cancels + s.Corrupted
+	return s.Panics + s.Errors + s.Delays + s.Cancels + s.Corrupted + s.Torn
 }
 
 // String renders the nonzero counters, e.g. "errors=3 cancels=1".
@@ -188,7 +221,7 @@ func (s Stats) String() string {
 	for _, c := range []struct {
 		name string
 		v    uint64
-	}{{"panics", s.Panics}, {"errors", s.Errors}, {"delays", s.Delays}, {"cancels", s.Cancels}, {"corrupted", s.Corrupted}} {
+	}{{"panics", s.Panics}, {"errors", s.Errors}, {"delays", s.Delays}, {"cancels", s.Cancels}, {"corrupted", s.Corrupted}, {"torn", s.Torn}} {
 		if c.v > 0 {
 			parts = append(parts, fmt.Sprintf("%s=%d", c.name, c.v))
 		}
@@ -210,7 +243,7 @@ type Injector struct {
 	calls map[string]int // per-key call count
 	shots map[string]int // per-key injected fault count
 
-	panics, errors, delays, cancels, corrupted atomic.Uint64
+	panics, errors, delays, cancels, corrupted, torn atomic.Uint64
 }
 
 // New returns an injector that forwards to next (sim.RunContext when nil)
@@ -233,7 +266,30 @@ func (in *Injector) Stats() Stats {
 		Delays:    in.delays.Load(),
 		Cancels:   in.cancels.Load(),
 		Corrupted: in.corrupted.Load(),
+		Torn:      in.torn.Load(),
 	}
+}
+
+// Spec returns the injector's configuration — sweep workers read the
+// process-level knobs (KillAfter, StallHeartbeat) from it.
+func (in *Injector) Spec() Spec { return in.spec }
+
+// KillOnAppend is the checkpoint journal's OnAppend hook for kill-worker
+// chaos: once the process has journaled KillAfter results it SIGKILLs
+// itself — no deferred cleanup, no lease release, exactly the crash the
+// coordinator's reclaim path must absorb. A no-op unless KillAfter > 0.
+func (in *Injector) KillOnAppend(appended uint64) {
+	if in.spec.KillAfter <= 0 || appended < uint64(in.spec.KillAfter) {
+		return
+	}
+	p, err := os.FindProcess(os.Getpid())
+	if err != nil {
+		os.Exit(137)
+	}
+	in.events.Emit(runner.Event{Type: "fault_injected", Fault: "kill"})
+	_ = p.Kill()
+	// Kill is asynchronous on some platforms; make death certain.
+	select {}
 }
 
 // draw maps (seed, key, call#) to a uniform value in [0, 1).
@@ -331,23 +387,30 @@ func (in *Injector) forward(ctx context.Context, cfg sim.Config, pt core.Pattern
 
 // CorruptRecord is the checkpoint journal's Corrupt hook: at the spec's
 // corrupt rate (decided deterministically from the record content) it
-// overwrites a span of bytes mid-record, which the journal's checksum
-// must catch on resume.
+// overwrites a span of bytes mid-record, and at the torn rate it
+// truncates the record mid-line as a died-while-flushing write. Either
+// way the journal's checksum must catch it on resume.
 func (in *Injector) CorruptRecord(line []byte) []byte {
-	if in.spec.Corrupt <= 0 || len(line) == 0 {
+	if (in.spec.Corrupt <= 0 && in.spec.Torn <= 0) || len(line) == 0 {
 		return line
 	}
 	h := fnv.New64a()
 	h.Write(line)
 	u := float64(rng.NewSplitMix64(in.spec.Seed^h.Sum64()^0xc0440).Next()>>11) / float64(uint64(1)<<53)
-	if u >= in.spec.Corrupt {
-		return line
+	if u < in.spec.Corrupt {
+		in.corrupted.Add(1)
+		out := append([]byte(nil), line...)
+		start := len(out) / 3
+		for i := start; i < start+8 && i < len(out); i++ {
+			out[i] = 'X'
+		}
+		return out
 	}
-	in.corrupted.Add(1)
-	out := append([]byte(nil), line...)
-	start := len(out) / 3
-	for i := start; i < start+8 && i < len(out); i++ {
-		out[i] = 'X'
+	if u < in.spec.Corrupt+in.spec.Torn {
+		in.torn.Add(1)
+		// Keep a strict prefix: the record loses its checksum field and
+		// closing brace, exactly what a half-flushed append leaves behind.
+		return append([]byte(nil), line[:len(line)*3/5]...)
 	}
-	return out
+	return line
 }

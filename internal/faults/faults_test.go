@@ -276,6 +276,76 @@ func TestCorruptRecordCaughtByJournal(t *testing.T) {
 	}
 }
 
+// The process-level chaos knobs parse and validate like the rates do.
+func TestParseSpecProcessChaos(t *testing.T) {
+	s, err := ParseSpec("torn=0.2,kill=5,stallhb=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Torn: 0.2, KillAfter: 5, StallHeartbeat: true}
+	if s != want {
+		t.Errorf("spec = %+v, want %+v", s, want)
+	}
+	for _, bad := range []string{"torn=1.5", "torn=-0.1", "corrupt=0.6,torn=0.6", "kill=-1", "kill=x", "stallhb=maybe"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// A torn record — truncated mid-line as if the process died while the
+// write was half-flushed — must be skipped on resume, never served.
+func TestTornRecordCaughtByJournal(t *testing.T) {
+	dir := t.TempDir()
+	j, err := runner.OpenJournal(dir, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Spec{Torn: 1, Seed: 11}, nil, nil)
+	j.Corrupt = in.CorruptRecord
+	cfg, pt := testSim()
+	res, err := sim.Run(cfg, pt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, ok := runner.SimKey(cfg, pt)
+	if !ok {
+		t.Fatal("unkeyable test sim")
+	}
+	j.Append(key, res)
+	j.Close()
+	if in.Stats().Torn != 1 {
+		t.Fatalf("stats = %+v, want 1 torn", in.Stats())
+	}
+
+	var warn strings.Builder
+	j2, err := runner.OpenJournal(dir, true, &warn)
+	if err != nil {
+		t.Fatalf("resume from torn journal was fatal: %v", err)
+	}
+	defer j2.Close()
+	if _, ok := j2.Lookup(key); ok {
+		t.Error("torn record served as a hit")
+	}
+	if j2.Stats().Skipped != 1 {
+		t.Errorf("stats = %+v, want 1 skipped", j2.Stats())
+	}
+	if !strings.Contains(warn.String(), "offset") {
+		t.Errorf("warning does not name the record offset:\n%s", warn.String())
+	}
+}
+
+// KillOnAppend below the threshold is a no-op — the counterpart above the
+// threshold SIGKILLs the process, which the dxbench helper-process test
+// covers; it cannot run in-process.
+func TestKillOnAppendBelowThreshold(t *testing.T) {
+	in := New(Spec{KillAfter: 3}, nil, nil)
+	in.KillOnAppend(1)
+	in.KillOnAppend(2)
+	off := New(Spec{}, nil, nil)
+	off.KillOnAppend(1 << 30) // KillAfter unset: never kills
+}
+
 // The injector logs fault_injected events.
 func TestFaultEvents(t *testing.T) {
 	var log strings.Builder

@@ -24,7 +24,7 @@ func FuzzJournalDecode(f *testing.F) {
 	f.Add(corrupted)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		entries, skipped := decodeJournal(data, io.Discard)
+		entries, _, skipped := decodeJournal(data, io.Discard)
 		if skipped < 0 {
 			t.Fatalf("negative skip count %d", skipped)
 		}
@@ -35,7 +35,7 @@ func FuzzJournalDecode(f *testing.F) {
 			// Every surviving record must verify: a mismatch here means a
 			// corrupted record was served as a hit.
 			line := encodeRecord(key, res)
-			re, reSkipped := decodeJournal(append(line, '\n'), io.Discard)
+			re, _, reSkipped := decodeJournal(append(line, '\n'), io.Discard)
 			if reSkipped != 0 {
 				t.Fatalf("surviving record fails its own checksum: %q", line)
 			}

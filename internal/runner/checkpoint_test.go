@@ -78,7 +78,7 @@ func TestJournalSkipsCorruptRecords(t *testing.T) {
 	data := good1 + "\n" + "{garbage\n" + tampered + "\n" + good2 + "\n" + good2[:len(good2)/2]
 
 	var warn strings.Builder
-	entries, skipped := decodeJournal([]byte(data), &warn)
+	entries, _, skipped := decodeJournal([]byte(data), &warn)
 	if skipped != 3 {
 		t.Errorf("skipped = %d, want 3 (garbage, tampered, truncated)", skipped)
 	}

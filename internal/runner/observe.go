@@ -387,6 +387,8 @@ func (o *Observer) Registry() *metrics.Registry {
 			metrics.Volatile()).Add(float64(o.journal.Appended))
 		reg.Gauge("dxbsp_checkpoint_entries", "results held by the checkpoint journal",
 			metrics.Volatile()).Set(float64(o.journal.Loaded))
+		reg.Counter("dxbsp_journal_skipped_records", "corrupt or torn journal records dropped during load",
+			metrics.Volatile()).Add(float64(o.journal.Skipped))
 	}
 	return reg
 }

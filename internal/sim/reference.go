@@ -199,7 +199,11 @@ func RunReference(cfg Config, pt core.Pattern) (Result, error) {
 	}
 
 	for clock := 0; served < pt.N(); clock++ {
-		if clock > pt.N()*(d+hit+miss+regW+g+netDelay+8)+1000 {
+		// Non-termination guard only: netDelay counts twice because the
+		// closed-loop GPU path pays it on the request and again on the
+		// response before a conflicting lane can replay, so a fully
+		// serialized single-bank warp legitimately needs ~N*(d+2*netDelay).
+		if clock > pt.N()*(d+hit+miss+regW+g+2*netDelay+8)+1000 {
 			return Result{}, fmt.Errorf("sim: RunReference did not converge")
 		}
 		// 1. Responses arrive back (GPU only — elsewhere they have no

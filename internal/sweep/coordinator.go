@@ -1,0 +1,83 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"dxbsp/internal/runner"
+)
+
+// Coordinator supervises a sweep: it publishes the manifest, watches the
+// shared directory's done markers, and reclaims leases whose heartbeat
+// expired so ranges held by dead (or stalled) workers get reassigned. The
+// coordinator executes nothing itself; it is restartable at any time
+// because all progress lives in the directory.
+type Coordinator struct {
+	// Dir is the shared coordination directory.
+	Dir *Dir
+	// Manifest is the published plan.
+	Manifest Manifest
+	// Events, when non-nil, receives lease_reclaimed and sweep_done events.
+	Events *runner.EventLog
+	// Progress, when non-nil, gets a one-line update whenever the done
+	// count changes.
+	Progress io.Writer
+	// Poll is the supervision interval; defaults to TTL/4.
+	Poll time.Duration
+}
+
+// CoordStats summarizes a completed supervision run.
+type CoordStats struct {
+	// Ranges is the manifest's range count.
+	Ranges int
+	// Reclaimed counts leases reclaimed from expired workers.
+	Reclaimed int
+}
+
+func (c *Coordinator) poll() time.Duration {
+	if c.Poll > 0 {
+		return c.Poll
+	}
+	return c.Dir.ttl() / 4
+}
+
+// Run supervises until every range is done or ctx is cancelled.
+func (c *Coordinator) Run(ctx context.Context) (CoordStats, error) {
+	st := CoordStats{Ranges: len(c.Manifest.Ranges)}
+	lastDone := -1
+	for {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
+		done := c.Dir.CountDone(c.Manifest.Ranges)
+		if done != lastDone {
+			lastDone = done
+			if c.Progress != nil {
+				fmt.Fprintf(c.Progress, "sweep: %d/%d range(s) done, %d lease(s) reclaimed\n",
+					done, st.Ranges, st.Reclaimed)
+			}
+		}
+		if done == st.Ranges {
+			c.Events.Emit(runner.Event{Type: "sweep_done", Ranges: st.Ranges, Reclaimed: st.Reclaimed})
+			return st, nil
+		}
+		ids, err := c.Dir.ReclaimExpired(c.Manifest.Ranges)
+		for _, id := range ids {
+			st.Reclaimed++
+			c.Events.Emit(runner.Event{Type: "lease_reclaimed", Range: id})
+			if c.Progress != nil {
+				fmt.Fprintf(c.Progress, "sweep: reclaimed expired lease on %s\n", id)
+			}
+		}
+		if err != nil {
+			return st, err
+		}
+		select {
+		case <-time.After(c.poll()):
+		case <-ctx.Done():
+			return st, ctx.Err()
+		}
+	}
+}

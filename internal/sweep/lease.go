@@ -1,0 +1,249 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Dir is the shared journal directory seen as a coordination medium. All
+// inter-process state — the manifest, per-range lease files, per-range
+// done markers, per-worker journals — lives in this one directory, and
+// every mutation is an atomic filesystem operation (O_EXCL-equivalent
+// link for claims, rename for renewals and markers), so the protocol
+// tolerates arbitrary process death at any instruction boundary:
+//
+//   - A lease is claimed by hard-linking a fully written temp file to
+//     lease.<id>.json; the link either exists afterwards or it does not.
+//   - A heartbeat renewal atomically replaces the lease with one carrying
+//     a later deadline.
+//   - A done marker (done.<id>) is renamed into place only after the
+//     worker's journal has been fsynced, so a visible marker always
+//     vouches for durable records.
+//   - Reclaiming an expired lease is a plain remove; if the "dead" worker
+//     was merely slow and finishes anyway, its records are byte-identical
+//     to the replacement's (simulation is deterministic), so duplicated
+//     execution is wasted work, never wrong output.
+type Dir struct {
+	// Path is the shared directory.
+	Path string
+	// TTL is how long a claimed lease stays valid without renewal.
+	// Defaults to 10s.
+	TTL time.Duration
+	// Grace pads expiry before the coordinator reclaims, absorbing
+	// clock skew between processes. Defaults to TTL/2.
+	Grace time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+}
+
+// Lease is the content of one lease file.
+type Lease struct {
+	// Worker is the claiming worker's id.
+	Worker string `json:"worker"`
+	// Deadline is when the lease expires unless renewed, unix nanos.
+	Deadline int64 `json:"deadline"`
+}
+
+func (d *Dir) now() time.Time {
+	if d.Now != nil {
+		return d.Now()
+	}
+	return time.Now()
+}
+
+func (d *Dir) ttl() time.Duration {
+	if d.TTL <= 0 {
+		return 10 * time.Second
+	}
+	return d.TTL
+}
+
+func (d *Dir) grace() time.Duration {
+	if d.Grace <= 0 {
+		return d.ttl() / 2
+	}
+	return d.Grace
+}
+
+// fsSafe maps a range id to a filesystem-safe token.
+func fsSafe(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '.', r == '_':
+			return r
+		}
+		return '_'
+	}, id)
+}
+
+func (d *Dir) leasePath(id string) string {
+	return filepath.Join(d.Path, "lease."+fsSafe(id)+".json")
+}
+
+func (d *Dir) donePath(id string) string {
+	return filepath.Join(d.Path, "done."+fsSafe(id))
+}
+
+func (d *Dir) writeTemp(prefix string, data []byte) (string, error) {
+	f, err := os.CreateTemp(d.Path, prefix)
+	if err != nil {
+		return "", err
+	}
+	_, werr := f.Write(data)
+	cerr := f.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		os.Remove(f.Name())
+		return "", werr
+	}
+	return f.Name(), nil
+}
+
+// Claim attempts to acquire the lease on range id for worker. It returns
+// true iff this call created the lease. The lease file is fully written
+// before it becomes visible (temp + hard link), so a concurrent reader
+// never observes a half-written lease.
+func (d *Dir) Claim(id, worker string) (bool, error) {
+	content, _ := json.Marshal(Lease{Worker: worker, Deadline: d.now().Add(d.ttl()).UnixNano()})
+	tmp, err := d.writeTemp("claim-", append(content, '\n'))
+	if err != nil {
+		return false, fmt.Errorf("sweep: claim %s: %w", id, err)
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, d.leasePath(id)); err != nil {
+		if os.IsExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("sweep: claim %s: %w", id, err)
+	}
+	return true, nil
+}
+
+// Renew extends worker's lease on id by TTL from now. If the lease has
+// been reclaimed and re-claimed by someone else, Renew reports lost=true
+// and leaves the other worker's lease alone; the caller may finish its
+// in-flight range (results are deterministic, duplication is safe) but
+// must stop renewing.
+func (d *Dir) Renew(id, worker string) (lost bool, err error) {
+	cur, ok, err := d.Holder(id)
+	if err != nil {
+		return false, err
+	}
+	if ok && cur.Worker != worker {
+		return true, nil
+	}
+	// Missing lease: it expired and was reclaimed but nobody re-claimed
+	// yet; re-assert it (rename is atomic either way).
+	content, _ := json.Marshal(Lease{Worker: worker, Deadline: d.now().Add(d.ttl()).UnixNano()})
+	tmp, err := d.writeTemp("renew-", append(content, '\n'))
+	if err != nil {
+		return false, fmt.Errorf("sweep: renew %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, d.leasePath(id)); err != nil {
+		os.Remove(tmp)
+		return false, fmt.Errorf("sweep: renew %s: %w", id, err)
+	}
+	return false, nil
+}
+
+// Release removes the lease on id; missing is fine (already reclaimed).
+func (d *Dir) Release(id string) error {
+	if err := os.Remove(d.leasePath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("sweep: release %s: %w", id, err)
+	}
+	return nil
+}
+
+// Holder reads the current lease on id.
+func (d *Dir) Holder(id string) (Lease, bool, error) {
+	data, err := os.ReadFile(d.leasePath(id))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Lease{}, false, nil
+		}
+		return Lease{}, false, fmt.Errorf("sweep: lease %s: %w", id, err)
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		// Unreadable lease content should be impossible (writes are
+		// atomic); treat it as held-with-unknown-deadline so reclaim falls
+		// back to the file's age rather than stealing a live range.
+		return Lease{}, true, nil
+	}
+	return l, true, nil
+}
+
+// MarkDone publishes the done marker for id. Callers must have made the
+// range's journal records durable first. Idempotent: two workers that
+// both executed a reclaimed range both mark it done.
+func (d *Dir) MarkDone(id, worker string) error {
+	tmp, err := d.writeTemp("done-", []byte(worker+"\n"))
+	if err != nil {
+		return fmt.Errorf("sweep: done %s: %w", id, err)
+	}
+	if err := os.Rename(tmp, d.donePath(id)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: done %s: %w", id, err)
+	}
+	return nil
+}
+
+// IsDone reports whether id's done marker exists.
+func (d *Dir) IsDone(id string) bool {
+	_, err := os.Stat(d.donePath(id))
+	return err == nil
+}
+
+// CountDone returns how many of the given ranges are done.
+func (d *Dir) CountDone(ranges []Range) int {
+	n := 0
+	for _, r := range ranges {
+		if d.IsDone(r.ID) {
+			n++
+		}
+	}
+	return n
+}
+
+// ReclaimExpired removes leases whose deadline (plus grace) has passed on
+// ranges that are not done, returning the reclaimed range ids sorted for
+// deterministic reporting. A lease with unreadable content is reclaimed
+// only on a missing deadline AND a stale mtime — the conservative side.
+func (d *Dir) ReclaimExpired(ranges []Range) ([]string, error) {
+	now := d.now()
+	var reclaimed []string
+	for _, r := range ranges {
+		if d.IsDone(r.ID) {
+			continue
+		}
+		l, held, err := d.Holder(r.ID)
+		if err != nil {
+			return reclaimed, err
+		}
+		if !held {
+			continue
+		}
+		expired := false
+		if l.Deadline > 0 {
+			expired = now.After(time.Unix(0, l.Deadline).Add(d.grace()))
+		} else if st, err := os.Stat(d.leasePath(r.ID)); err == nil {
+			expired = now.Sub(st.ModTime()) > d.ttl()+d.grace()
+		}
+		if !expired {
+			continue
+		}
+		if err := d.Release(r.ID); err != nil {
+			return reclaimed, err
+		}
+		reclaimed = append(reclaimed, r.ID)
+	}
+	sort.Strings(reclaimed)
+	return reclaimed, nil
+}

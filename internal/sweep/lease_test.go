@@ -1,0 +1,263 @@
+package sweep
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable clock for the lease state machine tests.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(d)
+}
+
+func testDir(t *testing.T) (*Dir, *fakeClock) {
+	t.Helper()
+	clk := &fakeClock{now: time.Unix(1_000_000, 0)}
+	return &Dir{Path: t.TempDir(), TTL: 10 * time.Second, Now: clk.Now}, clk
+}
+
+func TestLeaseClaimIsExclusive(t *testing.T) {
+	d, _ := testDir(t)
+	ok, err := d.Claim("F6.0-4", "alpha")
+	if err != nil || !ok {
+		t.Fatalf("first claim: ok=%v err=%v", ok, err)
+	}
+	ok, err = d.Claim("F6.0-4", "beta")
+	if err != nil {
+		t.Fatalf("second claim errored: %v", err)
+	}
+	if ok {
+		t.Fatal("two workers claimed the same range")
+	}
+	l, held, err := d.Holder("F6.0-4")
+	if err != nil || !held {
+		t.Fatalf("holder: held=%v err=%v", held, err)
+	}
+	if l.Worker != "alpha" {
+		t.Fatalf("holder = %q, want alpha", l.Worker)
+	}
+}
+
+func TestLeaseRenewExtendsDeadline(t *testing.T) {
+	d, clk := testDir(t)
+	if ok, _ := d.Claim("r", "alpha"); !ok {
+		t.Fatal("claim failed")
+	}
+	before, _, _ := d.Holder("r")
+	clk.Advance(7 * time.Second)
+	lost, err := d.Renew("r", "alpha")
+	if err != nil || lost {
+		t.Fatalf("renew: lost=%v err=%v", lost, err)
+	}
+	after, _, _ := d.Holder("r")
+	if after.Deadline <= before.Deadline {
+		t.Fatalf("renew did not extend deadline: %d -> %d", before.Deadline, after.Deadline)
+	}
+}
+
+// A worker whose lease was reclaimed and re-claimed by someone else must
+// learn it lost and must not clobber the new holder's lease.
+func TestLeaseRenewDetectsLoss(t *testing.T) {
+	d, clk := testDir(t)
+	if ok, _ := d.Claim("r", "alpha"); !ok {
+		t.Fatal("claim failed")
+	}
+	clk.Advance(16 * time.Second) // past TTL + default grace (TTL/2)
+	reclaimed, err := d.ReclaimExpired([]Range{{ID: "r"}})
+	if err != nil || len(reclaimed) != 1 {
+		t.Fatalf("reclaim: %v %v", reclaimed, err)
+	}
+	if ok, _ := d.Claim("r", "beta"); !ok {
+		t.Fatal("re-claim after reclaim failed")
+	}
+	lost, err := d.Renew("r", "alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lost {
+		t.Fatal("alpha renewed a lease beta holds")
+	}
+	l, _, _ := d.Holder("r")
+	if l.Worker != "beta" {
+		t.Fatalf("holder = %q after alpha's late renew, want beta", l.Worker)
+	}
+}
+
+// Renew on a reclaimed-but-unclaimed range re-asserts the lease: the
+// original worker is still alive and executing, so it keeps ownership.
+func TestLeaseRenewReasserts(t *testing.T) {
+	d, _ := testDir(t)
+	if ok, _ := d.Claim("r", "alpha"); !ok {
+		t.Fatal("claim failed")
+	}
+	if err := d.Release("r"); err != nil {
+		t.Fatal(err)
+	}
+	lost, err := d.Renew("r", "alpha")
+	if err != nil || lost {
+		t.Fatalf("re-assert: lost=%v err=%v", lost, err)
+	}
+	l, held, _ := d.Holder("r")
+	if !held || l.Worker != "alpha" {
+		t.Fatalf("lease not re-asserted: held=%v worker=%q", held, l.Worker)
+	}
+}
+
+func TestReclaimRespectsGrace(t *testing.T) {
+	d, clk := testDir(t)
+	if ok, _ := d.Claim("r", "alpha"); !ok {
+		t.Fatal("claim failed")
+	}
+	// Past the deadline but inside the grace window: not reclaimable.
+	clk.Advance(12 * time.Second)
+	ids, err := d.ReclaimExpired([]Range{{ID: "r"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Fatalf("lease reclaimed inside grace window: %v", ids)
+	}
+	clk.Advance(4 * time.Second) // now past TTL + TTL/2
+	ids, err = d.ReclaimExpired([]Range{{ID: "r"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "r" {
+		t.Fatalf("expired lease not reclaimed: %v", ids)
+	}
+	if _, held, _ := d.Holder("r"); held {
+		t.Fatal("lease file survived reclaim")
+	}
+}
+
+func TestReclaimSkipsDoneAndLive(t *testing.T) {
+	d, clk := testDir(t)
+	ranges := []Range{{ID: "a"}, {ID: "b"}, {ID: "c"}}
+	if ok, _ := d.Claim("a", "w1"); !ok {
+		t.Fatal("claim a")
+	}
+	if ok, _ := d.Claim("b", "w2"); !ok {
+		t.Fatal("claim b")
+	}
+	if err := d.MarkDone("a", "w1"); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Minute)
+	// b is expired; a is done (never reclaimed even though its lease file
+	// still exists); c was never claimed.
+	ids, err := d.ReclaimExpired(ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "b" {
+		t.Fatalf("reclaimed %v, want [b]", ids)
+	}
+	if d.CountDone(ranges) != 1 {
+		t.Fatalf("CountDone = %d, want 1", d.CountDone(ranges))
+	}
+}
+
+// A lease file with unreadable content (should be impossible — writes are
+// atomic) is reclaimed only by file age, the conservative fallback.
+func TestReclaimUnreadableLeaseFallsBackToMtime(t *testing.T) {
+	d, clk := testDir(t)
+	path := filepath.Join(d.Path, "lease.r.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Second)
+	ids, err := d.ReclaimExpired([]Range{{ID: "r"}})
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("fresh unreadable lease reclaimed: %v %v", ids, err)
+	}
+	// Age the file well past TTL+grace; the fake clock does not move the
+	// filesystem's mtime, so backdate it.
+	old := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(path, old, old); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(time.Hour)
+	// mtime comparison uses d.now() against real mtimes; with the fake
+	// clock at unix 1e6 the hour-old real mtime is "in the future", so use
+	// a real clock for this half of the assertion.
+	d.Now = nil
+	ids, err = d.ReclaimExpired([]Range{{ID: "r"}})
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("stale unreadable lease not reclaimed: %v %v", ids, err)
+	}
+}
+
+func TestReleaseIdempotent(t *testing.T) {
+	d, _ := testDir(t)
+	if err := d.Release("never-claimed"); err != nil {
+		t.Fatalf("release of missing lease: %v", err)
+	}
+}
+
+func TestDoneMarkerIdempotent(t *testing.T) {
+	d, _ := testDir(t)
+	if err := d.MarkDone("r", "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	// A second worker that executed the same reclaimed range marks it done
+	// again; both executions produced identical records, so this is fine.
+	if err := d.MarkDone("r", "beta"); err != nil {
+		t.Fatal(err)
+	}
+	if !d.IsDone("r") {
+		t.Fatal("done marker missing")
+	}
+}
+
+// Concurrent claims on the same range: exactly one winner. Run with -race
+// in CI.
+func TestLeaseClaimRace(t *testing.T) {
+	d, _ := testDir(t)
+	const workers = 16
+	wins := make(chan string, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		id := string(rune('a' + i))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ok, err := d.Claim("r", id)
+			if err != nil {
+				t.Errorf("claim %s: %v", id, err)
+				return
+			}
+			if ok {
+				wins <- id
+			}
+		}()
+	}
+	wg.Wait()
+	close(wins)
+	var winners []string
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("%d winners: %v", len(winners), winners)
+	}
+	l, held, err := d.Holder("r")
+	if err != nil || !held || l.Worker != winners[0] {
+		t.Fatalf("holder %q, winner %q (held=%v err=%v)", l.Worker, winners[0], held, err)
+	}
+}

@@ -1,0 +1,144 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"dxbsp/internal/experiments"
+)
+
+// manifestFile is the manifest's name inside the shared journal directory.
+const manifestFile = "manifest.json"
+
+// Range is one contiguous run of a single experiment's points — the unit
+// of work a dynamic worker claims, executes, and marks done. Ranges never
+// span experiments: a range is fully described by (experiment, [Start,
+// End)) over that experiment's deterministic point enumeration.
+type Range struct {
+	// ID names the range for lease and done-marker files, e.g. "F6.0-4".
+	ID string `json:"id"`
+	// Experiment is the experiment the points belong to.
+	Experiment string `json:"experiment"`
+	// Start and End bound the global point indices, half-open.
+	Start int `json:"start"`
+	End   int `json:"end"`
+}
+
+// Manifest is the coordinator's statement of the whole sweep: which
+// configuration it runs under (as a fingerprint every worker must match)
+// and the ranges the point grid decomposes into. It is written once,
+// atomically, and never modified — progress lives in lease and done
+// files, so a coordinator restart re-reads the same plan.
+type Manifest struct {
+	// Config fingerprints the sweep configuration; see Fingerprint.
+	Config string `json:"config"`
+	// Experiments lists the experiment IDs in execution order.
+	Experiments []string `json:"experiments"`
+	// Chunk is the range size the grid was cut into.
+	Chunk int `json:"chunk"`
+	// Ranges is the full work list.
+	Ranges []Range `json:"ranges"`
+}
+
+// Fingerprint digests everything that determines the point grid and its
+// results: scale, seed, quick mode, and the experiment set with each
+// experiment's point count. Two processes agree on the fingerprint iff
+// they enumerate the identical grid, so it is the guard that keeps a
+// worker configured with different flags from journaling records into
+// someone else's sweep.
+func Fingerprint(cfg experiments.Config, exps []experiments.Experiment) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "n=%d|seed=%d|quick=%t", cfg.N, cfg.Seed, cfg.Quick)
+	for _, e := range exps {
+		fmt.Fprintf(h, "|%s:%d", e.ID, len(e.Points(cfg)))
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// BuildManifest cuts the experiment set's point grid into ranges of at
+// most chunk points (chunk < 1 selects a default of 4). The decomposition
+// is deterministic in (cfg, exps, chunk).
+func BuildManifest(cfg experiments.Config, exps []experiments.Experiment, chunk int) Manifest {
+	if chunk < 1 {
+		chunk = 4
+	}
+	m := Manifest{Config: Fingerprint(cfg, exps), Chunk: chunk}
+	for _, e := range exps {
+		n := len(e.Points(cfg))
+		m.Experiments = append(m.Experiments, e.ID)
+		for start := 0; start < n; start += chunk {
+			end := start + chunk
+			if end > n {
+				end = n
+			}
+			m.Ranges = append(m.Ranges, Range{
+				ID:         fmt.Sprintf("%s.%d-%d", e.ID, start, end),
+				Experiment: e.ID,
+				Start:      start,
+				End:        end,
+			})
+		}
+	}
+	return m
+}
+
+// WriteManifest publishes m into dir atomically (temp file + rename). If
+// a manifest already exists it must carry the same fingerprint — that is
+// a coordinator restart resuming the same sweep, and the existing
+// manifest (the one workers may already hold ranges from) wins. A
+// fingerprint mismatch is a typed usage error: two differently configured
+// sweeps must not share a directory.
+func WriteManifest(dir string, m Manifest) (Manifest, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Manifest{}, fmt.Errorf("sweep: %w", err)
+	}
+	if existing, err := LoadManifest(dir); err == nil {
+		if existing.Config != m.Config {
+			return Manifest{}, usageErrorf("sweep: %s holds a manifest for a different sweep (config %s, this run is %s)",
+				dir, existing.Config, m.Config)
+		}
+		return existing, nil
+	}
+	path := filepath.Join(dir, manifestFile)
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return Manifest{}, fmt.Errorf("sweep: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return Manifest{}, fmt.Errorf("sweep: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return Manifest{}, fmt.Errorf("sweep: %w", err)
+	}
+	return m, nil
+}
+
+// LoadManifest reads the manifest published in dir.
+func LoadManifest(dir string) (Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return Manifest{}, fmt.Errorf("sweep: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("sweep: bad manifest in %s: %w", dir, err)
+	}
+	if len(m.Ranges) == 0 {
+		return Manifest{}, fmt.Errorf("sweep: manifest in %s lists no ranges", dir)
+	}
+	return m, nil
+}
+
+// VerifyConfig checks that a worker's configuration matches the manifest
+// it is about to work from; a mismatch is a typed usage error.
+func (m Manifest) VerifyConfig(cfg experiments.Config, exps []experiments.Experiment) error {
+	if got := Fingerprint(cfg, exps); got != m.Config {
+		return usageErrorf("sweep: worker configuration (fingerprint %s) does not match the manifest (%s); run the worker with the coordinator's flags", got, m.Config)
+	}
+	return nil
+}
