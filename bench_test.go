@@ -15,6 +15,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"dxbsp/internal/algos"
 	"dxbsp/internal/core"
@@ -490,3 +491,60 @@ func benchSweepExpansion(b *testing.B, ways int) {
 
 func BenchmarkSweepExpansion1Way(b *testing.B) { benchSweepExpansion(b, 1) }
 func BenchmarkSweepExpansion4Way(b *testing.B) { benchSweepExpansion(b, 4) }
+
+// --- Batched lockstep engine ----------------------------------------------
+
+// BenchmarkBatchExpansion is the headline number for the batch engine: the
+// F6-shaped expansion grid (x × d, all FIFO, so every lane takes the
+// lockstep fast path) run as one 16-lane batch per iteration on a held
+// engine. The timed region is batch passes only; the scalar engine runs
+// the same configs once untimed to report the speedup. Two custom metrics:
+// points/sec (batched simulation points per wall-clock second, single
+// goroutine — "per core") and xscalar (scalar time per point / batch time
+// per point). CI gates xscalar >= 3.
+func BenchmarkBatchExpansion(b *testing.B) {
+	var cfgs []sim.Config
+	for _, x := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		for _, d := range []float64{6, 14} {
+			cfgs = append(cfgs, sim.Config{
+				Machine: core.Machine{Name: "bench", Procs: 8, Banks: 8 * x, D: d, G: 1, L: 4},
+			})
+		}
+	}
+	rg := rng.New(17)
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = rg.Uint64n(1 << 30)
+	}
+	pt := core.NewPattern(addrs, 8)
+	ctx := context.Background()
+
+	eng := sim.AcquireBatchEngine()
+	defer sim.ReleaseBatchEngine(eng)
+	if _, err := eng.Run(ctx, cfgs, pt); err != nil { // warm the arenas
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, cfgs, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batchSec := time.Since(start).Seconds()
+	b.StopTimer()
+
+	scalarStart := time.Now()
+	for _, cfg := range cfgs {
+		if _, err := sim.Run(cfg, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	scalarSec := time.Since(scalarStart).Seconds()
+
+	points := float64(len(cfgs)) * float64(b.N)
+	b.ReportMetric(points/batchSec, "points/sec")
+	scalarPerPoint := scalarSec / float64(len(cfgs))
+	b.ReportMetric(scalarPerPoint/(batchSec/points), "xscalar")
+}

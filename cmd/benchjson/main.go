@@ -18,6 +18,12 @@
 // benchmark delta table either way. Missing counters (no -benchmem) are
 // recorded as -1 and never compared.
 //
+// Custom benchmark metrics (testing.B.ReportMetric) are recorded in a
+// per-benchmark "metrics" map. Throughput metrics — any whose unit ends
+// in "/sec", like the batch engine's points/sec — join the regression
+// gate with the sign flipped: higher is better, so head falling below
+// base by more than threshold percent fails the compare.
+//
 // History mode records the perf trajectory across commits rather than
 // just the latest snapshot:
 //
@@ -55,6 +61,9 @@ type Bench struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
 	Samples     int     `json:"samples"`
+	// Metrics records custom per-op metrics (testing.B.ReportMetric) by
+	// unit, e.g. "points/sec" for the batch benches.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // File is the document benchjson emits and consumes.
@@ -133,12 +142,26 @@ func collect(paths []string, stdin io.Reader) (File, error) {
 	}
 	out := File{Benchmarks: map[string]Bench{}}
 	for name, runs := range samples {
-		out.Benchmarks[name] = Bench{
+		b := Bench{
 			NsPerOp:     median(runs, func(b Bench) float64 { return b.NsPerOp }),
 			BytesPerOp:  median(runs, func(b Bench) float64 { return b.BytesPerOp }),
 			AllocsPerOp: median(runs, func(b Bench) float64 { return b.AllocsPerOp }),
 			Samples:     len(runs),
 		}
+		byUnit := map[string][]float64{}
+		for _, r := range runs {
+			for unit, v := range r.Metrics {
+				byUnit[unit] = append(byUnit[unit], v)
+			}
+		}
+		if len(byUnit) > 0 {
+			b.Metrics = make(map[string]float64, len(byUnit))
+			for unit, vals := range byUnit {
+				sort.Float64s(vals)
+				b.Metrics[unit] = medianOf(vals)
+			}
+		}
+		out.Benchmarks[name] = b
 	}
 	return out, nil
 }
@@ -242,13 +265,19 @@ func parseBenchOutput(r io.Reader, into map[string][]Bench) error {
 			if err != nil {
 				continue // custom metric with non-numeric value; skip pair
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				b.NsPerOp = v
 			case "B/op":
 				b.BytesPerOp = v
 			case "allocs/op":
 				b.AllocsPerOp = v
+			default:
+				// Custom ReportMetric pair, recorded by unit.
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
 			}
 		}
 		if b.NsPerOp < 0 {
@@ -265,6 +294,11 @@ func median(runs []Bench, get func(Bench) float64) float64 {
 		vals = append(vals, get(r))
 	}
 	sort.Float64s(vals)
+	return medianOf(vals)
+}
+
+// medianOf returns the median of an already-sorted slice.
+func medianOf(vals []float64) float64 {
 	n := len(vals)
 	if n == 0 {
 		return -1
@@ -308,6 +342,29 @@ func runCompare(basePath, headPath string, threshold float64, stdout, stderr io.
 			regressions++
 		}
 		fmt.Fprintf(stdout, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name, b.NsPerOp, h.NsPerOp, delta, mark)
+		// Throughput metrics gate with the sign flipped: higher is better.
+		units := make([]string, 0, len(h.Metrics))
+		for unit := range h.Metrics {
+			if strings.HasSuffix(unit, "/sec") {
+				if _, ok := b.Metrics[unit]; ok {
+					units = append(units, unit)
+				}
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			bv, hv := b.Metrics[unit], h.Metrics[unit]
+			if bv <= 0 {
+				continue
+			}
+			delta := 100 * (hv - bv) / bv
+			mark := ""
+			if delta < -threshold {
+				mark = "  REGRESSION"
+				regressions++
+			}
+			fmt.Fprintf(stdout, "%-28s %14.0f %14.0f %+7.1f%%%s\n", name+" ["+unit+"]", bv, hv, delta, mark)
+		}
 	}
 	if regressions > 0 {
 		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) slower than base by more than %g%%\n", regressions, threshold)

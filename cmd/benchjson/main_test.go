@@ -55,9 +55,37 @@ func TestConvert(t *testing.T) {
 	if !ok || sc.NsPerOp != 85576734 {
 		t.Errorf("SimScatter64K = %+v, ok=%v", sc, ok)
 	}
-	// Custom metrics must not corrupt parsing.
-	if ab, ok := f.Benchmarks["AblationSimVsModel"]; !ok || ab.NsPerOp != 1000000 {
+	// Custom metrics must not corrupt parsing, and are recorded by unit.
+	ab, ok := f.Benchmarks["AblationSimVsModel"]
+	if !ok || ab.NsPerOp != 1000000 {
 		t.Errorf("AblationSimVsModel = %+v, ok=%v", ab, ok)
+	}
+	if ab.Metrics["sim/model"] != 1.002 {
+		t.Errorf("custom metric not recorded: %+v", ab.Metrics)
+	}
+}
+
+// Custom throughput metrics reduce to per-unit medians like the builtin
+// counters.
+func TestConvertMetricMedians(t *testing.T) {
+	input := `BenchmarkBatchExpansion-8 	 5	 2000000 ns/op	 48000 points/sec	 3.8 xscalar
+BenchmarkBatchExpansion-8 	 5	 2100000 ns/op	 50000 points/sec	 4.0 xscalar
+BenchmarkBatchExpansion-8 	 5	 2200000 ns/op	 52500 points/sec	 4.1 xscalar
+`
+	out, errOut, code := runTool(t, input)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut)
+	}
+	var f File
+	if err := json.Unmarshal([]byte(out), &f); err != nil {
+		t.Fatal(err)
+	}
+	be := f.Benchmarks["BatchExpansion"]
+	if be.Metrics["points/sec"] != 50000 {
+		t.Errorf("points/sec median = %v, want 50000", be.Metrics["points/sec"])
+	}
+	if be.Metrics["xscalar"] != 4.0 {
+		t.Errorf("xscalar median = %v, want 4.0", be.Metrics["xscalar"])
 	}
 }
 
@@ -113,6 +141,41 @@ func TestComparePassAndFail(t *testing.T) {
 	}
 	if !strings.Contains(out, "REGRESSION") || !strings.Contains(errOut, "slower than base") {
 		t.Errorf("missing regression report:\n%s\n%s", out, errOut)
+	}
+}
+
+// Throughput metrics (units ending in /sec) gate higher-is-better: a
+// points/sec drop beyond the threshold is a regression even when ns/op
+// is clean, and a rise never is. Non-throughput metrics (no /sec suffix)
+// stay out of the gate.
+func TestCompareThroughputMetrics(t *testing.T) {
+	base := writeJSON(t, File{Benchmarks: map[string]Bench{
+		"BatchExpansion": {NsPerOp: 1000, Samples: 1,
+			Metrics: map[string]float64{"points/sec": 50000, "xscalar": 4.0}},
+	}})
+
+	ok := writeJSON(t, File{Benchmarks: map[string]Bench{
+		"BatchExpansion": {NsPerOp: 1000, Samples: 1,
+			Metrics: map[string]float64{"points/sec": 60000, "xscalar": 1.0}},
+	}})
+	out, _, code := runTool(t, "", "-compare", base, ok)
+	if code != 0 {
+		t.Fatalf("throughput gain flagged as regression (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "BatchExpansion [points/sec]") {
+		t.Errorf("metric delta row missing:\n%s", out)
+	}
+
+	bad := writeJSON(t, File{Benchmarks: map[string]Bench{
+		"BatchExpansion": {NsPerOp: 1000, Samples: 1,
+			Metrics: map[string]float64{"points/sec": 40000}}, // -20% < -15%
+	}})
+	out, errOut, code := runTool(t, "", "-compare", base, bad)
+	if code != exitRegression {
+		t.Fatalf("throughput regression not detected (%d):\n%s", code, out)
+	}
+	if !strings.Contains(out, "[points/sec]") || !strings.Contains(out, "REGRESSION") {
+		t.Errorf("missing throughput regression report:\n%s\n%s", out, errOut)
 	}
 }
 

@@ -11,6 +11,7 @@
 //	dxbench -n 65536         # bulk operation size
 //	dxbench -seed 7          # RNG seed
 //	dxbench -parallel 8      # worker count (default GOMAXPROCS)
+//	dxbench -batch 16        # lockstep-batch up to 16 concurrent sims
 //	dxbench -progress        # per-point progress on stderr
 //	dxbench -timing          # per-experiment timing + run summary
 //	dxbench -events run.json # JSON-lines event log
@@ -95,6 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timing   = fs.Bool("timing", false, "append per-experiment timing lines and a run summary")
 		events   = fs.String("events", "", "write a JSON-lines event log to this file")
 		nocache  = fs.Bool("nocache", false, "disable the memoized simulation cache")
+		batchK   = fs.Int("batch", 0, "group up to K concurrent simulations into one lockstep batch (0 or 1: off)")
 		timeout  = fs.Duration("timeout", 0, "abort the run after this duration (0: no limit)")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -277,6 +279,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		r.Events = runner.NewEventLog(f)
 	}
 
+	// Compose the downstream simulation chain bottom-up: cache → faults →
+	// batcher → engine. The batcher sits below the cache so journaled and
+	// memoized points never re-batch (a -resume restores them without
+	// re-execution), and below the fault injector so chaos decisions stay
+	// per-lane — a faulted point never reaches the shared lockstep pass.
+	// Every layer is byte-transparent, so output is identical for any -batch
+	// K, worker count, and chaos/resume combination.
+	var next experiments.SimRunner
+	if *batchK > 1 {
+		next = runner.NewBatcher(*batchK)
+	}
 	var injector *faults.Injector
 	if *chaos != "" {
 		spec, err := faults.ParseSpec(*chaos)
@@ -284,11 +297,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "dxbench: %v\n", err)
 			return exitHard
 		}
-		injector = faults.New(spec, nil, r.Events)
+		injector = faults.New(spec, next, r.Events)
+		next = injector
+	}
+	if next != nil {
 		if r.Cache != nil {
-			r.Cache.Next = injector
+			r.Cache.Next = next
 		} else {
-			cfg.Sim = injector
+			cfg.Sim = next
 		}
 	}
 

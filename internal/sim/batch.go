@@ -1,0 +1,441 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"dxbsp/internal/core"
+)
+
+// BatchEngine advances K simulation configurations ("lanes") over one
+// shared access pattern in lockstep. Sweeps are fans of near-identical
+// points — the same request stream under varying d, x, g, NetDelay or
+// bank map — so the pattern walk, address decode and per-round control
+// flow can be paid once and amortized across every lane instead of once
+// per config (DESIGN.md §14).
+//
+// Lanes that satisfy BatchEligible run on the lockstep fast path over
+// structure-of-arrays state: per-lane clocks and counters in [K]-dense
+// slices, per-(lane,bank) service state in one lane-major arena indexed
+// by off[lane]+bank. The fast path replays exactly the floating-point
+// operations of the scalar event loop in exactly the scalar order (see
+// the correctness argument on runFast), so every lane's Result is
+// byte-identical to Engine.Run of that lane alone — pinned by the golden
+// 128-config diff, TestBatchMatchesScalar and FuzzBatchVsScalar.
+//
+// Lanes outside the fast-path regime (windowed, combining, sectioned,
+// row-buffered, probed, or non-FIFO disciplines) run sequentially on one
+// retained scalar engine inside the batch — still one call, still
+// byte-identical, just without the lockstep speedup.
+//
+// Like Engine, a BatchEngine is single-run at a time and retains every
+// arena across Reset, so warm batches allocate nothing
+// (TestBatchEngineReuseZeroAllocs pins it).
+type BatchEngine struct {
+	// Per-lane parameter SoA, all len K. fast marks lockstep lanes.
+	cfgs []Config
+	fast []bool
+
+	g, nd, d []float64 // issue gap, one-way net delay, service time
+	injT     []float64 // current round's injection time (accumulated += g)
+	lastDone []float64 // completion clock (max response arrival)
+	busyAcc  []float64 // total bank busy time (+= d per service)
+	maxQ     []int32   // high-water queue depth over all banks
+	off      []int32   // lane's base index into the bank arenas
+
+	// Bank-map dispatch, resolved per lane at Reset: a tag plus argument
+	// for the two interleave families, with the boxed interface retained
+	// only for custom maps (mapGeneric).
+	mk    []mapKind
+	mkArg []uint64
+	bms   []core.BankMap
+
+	// Lane-major per-(lane,bank) arenas, sized sum of fast lanes' banks.
+	// lastFin[i] is the finish time of the latest request at that bank;
+	// frontStart[i]/qn[i] model the FIFO queue without storing it (see
+	// runFast); serve[i] counts services for MaxBankServed.
+	lastFin    []float64
+	frontStart []float64
+	qn         []int32
+	serve      []int32
+
+	laneIdx []int32 // fast lanes in order, rebuilt per Reset
+
+	// Per-lane boxed-default-BankMap caches, mirroring Engine.defMap:
+	// re-boxing the default interleave map every Reset would cost one
+	// allocation per lane per batch.
+	defMaps  []core.BankMap
+	defBanks []int
+	defGPU   []bool
+
+	results []Result
+
+	// scalar runs the non-fast lanes; retained so their arenas pool too.
+	scalar Engine
+}
+
+// mapKind tags the bank-map families the hot loops inline instead of
+// making an interface call per request. resolveMap classifies a map once
+// per reset; bankOf dispatches on the tag.
+type mapKind uint8
+
+const (
+	mapGeneric mapKind = iota // anything else: interface call
+	mapMod                    // InterleaveMap: addr % banks
+	mapMask                   // InterleaveMap, power-of-two banks: addr & mask
+	mapGPUMod                 // GPUSharedMap: (addr / 4) % banks
+	mapGPUMask                // GPUSharedMap, power-of-two banks: (addr >> 2) & mask
+)
+
+// resolveMap classifies bm into an inline-dispatch tag and argument.
+// Unknown implementations fall back to the interface call (mapGeneric).
+func resolveMap(bm core.BankMap) (mapKind, uint64) {
+	switch m := bm.(type) {
+	case core.InterleaveMap:
+		b := uint64(m.Banks)
+		if b&(b-1) == 0 {
+			return mapMask, b - 1
+		}
+		return mapMod, b
+	case core.GPUSharedMap:
+		b := uint64(m.Banks)
+		if b&(b-1) == 0 {
+			return mapGPUMask, b - 1
+		}
+		return mapGPUMod, b
+	}
+	return mapGeneric, 0
+}
+
+// bankOf computes the bank for addr under a resolved map. The integer
+// identities are exact ((addr/4)%2^k == (addr>>2)&(2^k-1)), so the tag
+// paths return precisely what the interface call would.
+func bankOf(kind mapKind, arg uint64, bm core.BankMap, addr uint64) int {
+	switch kind {
+	case mapMask:
+		return int(addr & arg)
+	case mapMod:
+		return int(addr % arg)
+	case mapGPUMask:
+		return int((addr >> 2) & arg)
+	case mapGPUMod:
+		return int((addr / 4) % arg)
+	}
+	return bm.Bank(addr)
+}
+
+// BatchEligible reports whether cfg takes the lockstep fast path inside
+// a BatchEngine. The regime is the open-loop FIFO bank — the paper's
+// machines and the dominant sweep configuration: no window, no
+// combining, no section bottleneck, no row buffers, no probe, FIFO
+// discipline. Ineligible configs still run correctly in a batch (on the
+// embedded scalar engine), they just don't share the lockstep pass;
+// callers that group work (runner.Batcher) use this to batch only where
+// batching pays.
+func BatchEligible(cfg Config) bool {
+	if cfg.Window != 0 || cfg.Combining || cfg.Probe != nil {
+		return false
+	}
+	if cfg.UseSections && cfg.Machine.Sections > 1 {
+		return false
+	}
+	if cfg.Bank.Discipline != FIFO {
+		return false
+	}
+	if cfg.Bank.CacheLines > 0 || cfg.BankCacheLines > 0 {
+		return false
+	}
+	return true
+}
+
+// NewBatchEngine returns an empty BatchEngine. The first Run sizes its
+// arenas; later runs reuse them whenever the shape still fits.
+func NewBatchEngine() *BatchEngine { return &BatchEngine{} }
+
+// batchPool recycles BatchEngines exactly as enginePool recycles scalar
+// engines: parked released, so a pooled batch engine pins only its own
+// arenas.
+var batchPool = sync.Pool{New: func() any { return new(BatchEngine) }}
+
+// AcquireBatchEngine borrows a BatchEngine from the package pool. Pair
+// with ReleaseBatchEngine.
+func AcquireBatchEngine() *BatchEngine {
+	return batchPool.Get().(*BatchEngine)
+}
+
+// ReleaseBatchEngine drops the engine's borrowed references (configs,
+// bank maps, last results) and parks it. The engine — and the results
+// slice its last Run returned — must not be used after release.
+func ReleaseBatchEngine(b *BatchEngine) {
+	b.release()
+	batchPool.Put(b)
+}
+
+func (b *BatchEngine) release() {
+	for i := range b.cfgs {
+		b.cfgs[i] = Config{}
+	}
+	for i := range b.bms {
+		b.bms[i] = nil
+	}
+	b.scalar.eng.release()
+}
+
+// RunBatch simulates pt under every config in cfgs on a pooled
+// BatchEngine and returns one Result per lane, in lane order. The
+// returned slice is freshly allocated (safe to retain); callers running
+// many batches from one goroutine can hold an engine via
+// AcquireBatchEngine and use BatchEngine.Run to avoid the copy.
+func RunBatch(ctx context.Context, cfgs []Config, pt core.Pattern) ([]Result, error) {
+	b := AcquireBatchEngine()
+	res, err := b.Run(ctx, cfgs, pt)
+	if err == nil {
+		res = append([]Result(nil), res...)
+	}
+	ReleaseBatchEngine(b)
+	return res, err
+}
+
+// Run simulates one superstep of pt under every config in cfgs and
+// returns one Result per lane, in lane order. Each lane's Result is
+// byte-identical to Engine.Run of that lane alone. Validation is
+// all-or-nothing: any invalid lane fails the whole batch before any lane
+// simulates, with the error naming the lane. The returned slice is owned
+// by the engine and valid until the next Run or release.
+func (b *BatchEngine) Run(ctx context.Context, cfgs []Config, pt core.Pattern) ([]Result, error) {
+	if err := b.reset(cfgs, pt); err != nil {
+		return nil, err
+	}
+	// Non-fast lanes run first on the embedded scalar engine; lane order
+	// in the results is preserved regardless of execution order.
+	for i := range b.cfgs {
+		if b.fast[i] {
+			continue
+		}
+		res, err := b.scalar.Run(ctx, b.cfgs[i], pt)
+		if err != nil {
+			return nil, fmt.Errorf("sim: batch lane %d: %w", i, err)
+		}
+		b.results[i] = res
+	}
+	if err := b.runFast(ctx, pt); err != nil {
+		return nil, err
+	}
+	return b.results, nil
+}
+
+// reset validates every lane and re-arms the SoA state, reusing retained
+// storage. Mirrors Engine.Reset lane by lane.
+func (b *BatchEngine) reset(cfgs []Config, pt core.Pattern) error {
+	k := len(cfgs)
+	b.cfgs = growSlice(b.cfgs, k)
+	b.fast = growSlice(b.fast, k)
+	b.g = growSlice(b.g, k)
+	b.nd = growSlice(b.nd, k)
+	b.d = growSlice(b.d, k)
+	b.injT = growSlice(b.injT, k)
+	b.lastDone = growSlice(b.lastDone, k)
+	b.busyAcc = growSlice(b.busyAcc, k)
+	b.maxQ = growSlice(b.maxQ, k)
+	b.off = growSlice(b.off, k)
+	b.mk = growSlice(b.mk, k)
+	b.mkArg = growSlice(b.mkArg, k)
+	b.bms = growSlice(b.bms, k)
+	b.results = growSlice(b.results, k)
+	b.laneIdx = b.laneIdx[:0]
+	if cap(b.defMaps) < k {
+		b.defMaps = make([]core.BankMap, k)
+		b.defBanks = make([]int, k)
+		b.defGPU = make([]bool, k)
+	}
+
+	total := 0
+	for i, cfg := range cfgs {
+		if err := cfg.Machine.Validate(); err != nil {
+			return fmt.Errorf("sim: batch lane %d: %w", i, err)
+		}
+		if cfg.BankMap == nil {
+			gpu := cfg.Bank.Discipline == GPUShared
+			if b.defMaps[i] == nil || b.defBanks[i] != cfg.Machine.Banks || b.defGPU[i] != gpu {
+				if gpu {
+					b.defMaps[i] = core.GPUSharedMap{Banks: cfg.Machine.Banks}
+				} else {
+					b.defMaps[i] = core.InterleaveMap{Banks: cfg.Machine.Banks}
+				}
+				b.defBanks[i] = cfg.Machine.Banks
+				b.defGPU[i] = gpu
+			}
+			cfg.BankMap = b.defMaps[i]
+		}
+		cfg = cfg.Normalize()
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("sim: batch lane %d: %w", i, err)
+		}
+		if pt.Procs() > cfg.Machine.Procs {
+			return fmt.Errorf("sim: batch lane %d: pattern has %d processor streams but machine has %d processors",
+				i, pt.Procs(), cfg.Machine.Procs)
+		}
+		b.cfgs[i] = cfg
+		b.fast[i] = BatchEligible(cfg)
+		b.results[i] = Result{}
+		if !b.fast[i] {
+			continue
+		}
+		b.laneIdx = append(b.laneIdx, int32(i))
+		b.g[i] = cfg.Machine.G
+		b.nd[i] = cfg.NetDelay
+		b.d[i] = cfg.Machine.D
+		b.injT[i] = 0
+		b.lastDone[i] = 0
+		b.busyAcc[i] = 0
+		b.maxQ[i] = 0
+		b.off[i] = int32(total)
+		b.mk[i], b.mkArg[i] = resolveMap(cfg.BankMap)
+		b.bms[i] = cfg.BankMap
+		total += cfg.Machine.Banks
+	}
+
+	b.lastFin = growSlice(b.lastFin, total)
+	b.frontStart = growSlice(b.frontStart, total)
+	b.qn = growSlice(b.qn, total)
+	b.serve = growSlice(b.serve, total)
+	for i := range b.lastFin {
+		b.lastFin[i] = -1 // any arrival time is >= 0, so -1 reads as idle
+		b.frontStart[i] = 0
+		b.qn[i] = 0
+		b.serve[i] = 0
+	}
+	return nil
+}
+
+// growSlice returns s resized to length n, reusing capacity and zeroing
+// nothing (callers reinitialize the active region themselves).
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		return s[:n]
+	}
+	return make([]T, n)
+}
+
+// batchPollRequests is how many (lane, request) services pass between
+// context polls in runFast — the batch analogue of cancelCheckEvents.
+const batchPollRequests = 4096
+
+// runFast executes every fast lane in lockstep over the shared pattern.
+//
+// Correctness. In the open-loop FIFO regime the scalar event loop is
+// fully determined:
+//
+//   - Processor p injects its r-th request at t_r, with t_0 = 0 and
+//     t_{r+1} = t_r + G (inject accumulates nextIssueAt = now + G), so
+//     injT replays the identical float sum. Within a round, injects fire
+//     in processor order (their seqs were assigned in that order the
+//     round before), so request seqs ascend (round, proc)-lexically.
+//   - Every request arrives at its bank at a = t_r + NetDelay. Arrivals
+//     at one bank are ordered by (time, seq); both orders agree with
+//     (round, proc), so walking round-major then proc-major visits each
+//     bank's arrivals in exactly the scalar service order.
+//   - A bank is busy at arrival a iff the previous request's finish
+//     f >= a: bank-done at time == a has event kind evBankDone >
+//     evBankArrive, so the done fires after the arrival and the arrival
+//     queues. A queued request starts when its predecessor finishes, so
+//     finishes chain f_i = f_{i-1} + d — the same float op the scalar
+//     engine performs — and an idle bank serves on arrival, f = a + d.
+//   - Queue depth: the scalar ring's maxQ counts waiters excluding the
+//     one in service. Rather than store the queue, we keep the oldest
+//     waiter's start time (frontStart) and the waiter count (qn): a
+//     waiter has left the queue by time a iff its start s < a (a start
+//     at s == a comes from a done at s, kind evBankDone, which fires
+//     after the arrival), and successive waiters' starts differ by
+//     exactly += d, so popping replays the exact floats the scalar
+//     engine computed.
+//   - Responses only advance the completion clock (open loop collapses
+//     evComplete): lastDone = max over requests of f + NetDelay, and
+//     BankBusy accumulates += d per service — order-independent here
+//     because d is constant within a lane.
+func (b *BatchEngine) runFast(ctx context.Context, pt core.Pattern) error {
+	lanes := b.laneIdx
+	if len(lanes) == 0 {
+		return nil
+	}
+	maxLen := 0
+	for _, addrs := range pt.PerProc {
+		if len(addrs) > maxLen {
+			maxLen = len(addrs)
+		}
+	}
+	processed := 0
+	sincePoll := 0
+	for r := 0; r < maxLen; r++ {
+		if sincePoll >= batchPollRequests {
+			sincePoll = 0
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sim: batch cancelled after %d lane-requests: %w", processed, err)
+			}
+		}
+		for _, addrs := range pt.PerProc {
+			if r >= len(addrs) {
+				continue
+			}
+			addr := addrs[r]
+			for _, li := range lanes {
+				a := b.injT[li] + b.nd[li]
+				bank := bankOf(b.mk[li], b.mkArg[li], b.bms[li], addr)
+				idx := int(b.off[li]) + bank
+				dl := b.d[li]
+				var done float64
+				if f := b.lastFin[idx]; f >= a {
+					// Busy: drain waiters already started before a, then queue.
+					fs, n := b.frontStart[idx], b.qn[idx]
+					for n > 0 && fs < a {
+						fs += dl
+						n--
+					}
+					n++
+					if n == 1 {
+						fs = f
+					}
+					b.frontStart[idx] = fs
+					b.qn[idx] = n
+					if n > b.maxQ[li] {
+						b.maxQ[li] = n
+					}
+					done = f + dl
+				} else {
+					b.qn[idx] = 0
+					done = a + dl
+				}
+				b.lastFin[idx] = done
+				b.serve[idx]++
+				b.busyAcc[li] += dl
+				if t := done + b.nd[li]; t > b.lastDone[li] {
+					b.lastDone[li] = t
+				}
+			}
+			processed += len(lanes)
+			sincePoll += len(lanes)
+		}
+		for _, li := range lanes {
+			b.injT[li] += b.g[li]
+		}
+	}
+
+	n := pt.N()
+	for _, li := range lanes {
+		res := &b.results[li]
+		res.Cycles = b.lastDone[li]
+		res.Requests = n
+		res.BankServices = n
+		res.MaxBankQueue = int(b.maxQ[li])
+		res.BankBusy = b.busyAcc[li]
+		lo := int(b.off[li])
+		hi := lo + b.cfgs[li].Machine.Banks
+		for _, c := range b.serve[lo:hi] {
+			if int(c) > res.MaxBankServed {
+				res.MaxBankServed = int(c)
+			}
+		}
+	}
+	return nil
+}

@@ -104,6 +104,7 @@ func (e *engine) release() {
 func (e *engine) reset(cfg Config, pt core.Pattern) {
 	e.cfg = cfg
 	e.bm = cfg.BankMap
+	e.bmKind, e.bmArg = resolveMap(cfg.BankMap)
 	e.seq = 0
 	e.lastDone = 0
 	e.res = Result{}

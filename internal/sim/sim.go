@@ -241,8 +241,14 @@ type procState struct {
 // (TestEngineReuseZeroAllocs pins this; TestEventLoopSteadyStateAllocs
 // pins that the event loop itself never allocates per event).
 type engine struct {
-	cfg      Config
-	bm       core.BankMap
+	cfg Config
+	bm  core.BankMap
+	// bmKind/bmArg are the bank map resolved to an inline dispatch tag
+	// (resolveMap) at reset: the two interleave families compute the bank
+	// with one mask or modulo instead of an interface call per request —
+	// which the GPU warp loop issues WarpSize at a time.
+	bmKind   mapKind
+	bmArg    uint64
 	events   wheel
 	procs    []procState
 	sections []server
@@ -459,7 +465,7 @@ func (e *engine) inject(p int, now float64) {
 		return
 	}
 	addr := ps.addrs[ps.next]
-	req := request{proc: p, seq: e.nextSeq(), addr: addr, bank: e.bm.Bank(addr)}
+	req := request{proc: p, seq: e.nextSeq(), addr: addr, bank: bankOf(e.bmKind, e.bmArg, e.bm, addr)}
 	ps.next++
 	ps.outstanding++
 	ps.nextIssueAt = now + e.cfg.Machine.G
@@ -497,7 +503,7 @@ func (e *engine) injectWarp(p int, now float64) {
 	ps.nextIssueAt = now + e.cfg.Machine.G
 	for i := 0; i < w; i++ {
 		addr := ps.addrs[ps.next]
-		req := request{proc: p, seq: e.nextSeq(), addr: addr, bank: e.bm.Bank(addr)}
+		req := request{proc: p, seq: e.nextSeq(), addr: addr, bank: bankOf(e.bmKind, e.bmArg, e.bm, addr)}
 		ps.next++
 		ps.outstanding++
 		e.sched(event{time: now + e.cfg.NetDelay, seq: req.seq, kind: evBankArrive,
