@@ -7,6 +7,7 @@
 //
 //	dxcost workload.json
 //	dxcost -machine C90 -simulate < workload.json
+//	dxcost -machine C90 -surrogate < workload.json   # closed form, no simulation
 //
 // Workload format (see internal/program):
 //
@@ -44,6 +45,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		machine  = fs.String("machine", "J90", "machine name (J90, C90, or a Table 1 entry)")
 		overhead = fs.Float64("o", 0, "per-message overhead for the (d,x)-LogP column")
 		simulate = fs.Bool("simulate", false, "also run each superstep through the bank simulator")
+		surr     = fs.Bool("surrogate", false, "also predict each superstep with the closed-form surrogate")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,7 +69,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if err != nil {
 		return fail(stderr, "%v", err)
 	}
-	rep, err := program.Cost(p, m, *overhead, *simulate)
+	rep, err := program.CostWith(p, m, *overhead, *simulate, *surr)
 	if err != nil {
 		return fail(stderr, "%v", err)
 	}
@@ -76,17 +78,26 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *simulate {
 		headers = append(headers, "simulated")
 	}
+	if *surr {
+		headers = append(headers, "surrogate")
+	}
 	t := tablefmt.New(fmt.Sprintf("%s on %s", p.Name, m), headers...)
 	for _, sc := range rep.Steps {
 		row := []interface{}{sc.Name, sc.Repeat, sc.Requests, sc.Kappa, sc.BSP, sc.DXBSP, sc.DXLogP}
 		if *simulate {
 			row = append(row, sc.Sim)
 		}
+		if *surr {
+			row = append(row, sc.Surrogate)
+		}
 		t.AddRow(row...)
 	}
 	total := []interface{}{"TOTAL", "", "", "", rep.TotalBSP, rep.TotalDXBSP, rep.TotalDXLogP}
 	if *simulate {
 		total = append(total, rep.TotalSim)
+	}
+	if *surr {
+		total = append(total, rep.TotalSurrogate)
 	}
 	t.AddRow(total...)
 	t.Render(stdout)

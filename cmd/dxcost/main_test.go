@@ -57,3 +57,17 @@ func TestRunErrors(t *testing.T) {
 		t.Errorf("bad flag: %d", code)
 	}
 }
+
+// TestRunSurrogateColumn: -surrogate adds the closed-form column, and
+// with -simulate the two land close for a contention-bound workload (the
+// hot superstep is drain-dominated, where the closed form is exact).
+func TestRunSurrogateColumn(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-surrogate", "-simulate"}, strings.NewReader(wl), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "surrogate") {
+		t.Errorf("missing surrogate column:\n%s", out.String())
+	}
+}

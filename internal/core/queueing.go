@@ -46,16 +46,28 @@ func (m Machine) ExpectedBankDelay() float64 {
 // This is the model behind the window ablation: for w*g >= roundTrip the
 // window is invisible; below that the machine is latency-bound and the
 // time inflates by roundTrip/(w*g).
+//
+// The per-request sojourn is the M/D/1 estimate clamped to the drain
+// bound D*ExpectedMaxLoad(n, Banks): a request can never wait longer than
+// the busiest bank's whole backlog, so the prediction stays finite even
+// when BankUtilization() >= 1 and ExpectedBankDelay alone blows up to
+// +Inf (for those machines the bank-throughput floor is the real cost,
+// and it still applies below).
 func (m Machine) PredictWindowed(n, w int, netDelay float64) float64 {
 	if w <= 0 { // unlimited window: open loop
 		return m.SuperstepCost(ceilDiv(n, m.Procs), int(math.Ceil(ExpectedMaxLoad(n, m.Banks))))
 	}
-	roundTrip := 2*netDelay + m.ExpectedBankDelay()
+	maxLoad := ExpectedMaxLoad(n, m.Banks)
+	sojourn := m.ExpectedBankDelay()
+	if drain := m.D * maxLoad; sojourn > drain {
+		sojourn = drain
+	}
+	roundTrip := 2*netDelay + sojourn
 	perReq := math.Max(m.G, roundTrip/float64(w))
 	h := float64(ceilDiv(n, m.Procs))
 	t := perReq * h
 	// Bank throughput still floors the time.
-	if floor := m.D * ExpectedMaxLoad(n, m.Banks); floor > t {
+	if floor := m.D * maxLoad; floor > t {
 		t = floor
 	}
 	return t + m.L

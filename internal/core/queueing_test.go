@@ -65,6 +65,62 @@ func TestPredictWindowedRegimes(t *testing.T) {
 	}
 }
 
+// TestPredictWindowedSaturatedFinite pins the ρ >= 1 contract: the
+// M/D/1 sojourn alone blows up to +Inf at saturation, but
+// PredictWindowed clamps it to the drain bound D·E[max load], so the
+// prediction stays finite and is floored by bank throughput.
+func TestPredictWindowedSaturatedFinite(t *testing.T) {
+	sat := Machine{Procs: 8, Banks: 8, D: 14, G: 1} // ρ = 14
+	if !math.IsInf(sat.ExpectedBankDelay(), 1) {
+		t.Fatal("precondition: saturated sojourn should be +Inf")
+	}
+	n := 1 << 12
+	for _, w := range []int{1, 4, 64} {
+		v := sat.PredictWindowed(n, w, 10)
+		if math.IsInf(v, 1) || math.IsNaN(v) {
+			t.Fatalf("w=%d: saturated prediction not finite: %v", w, v)
+		}
+		// Bank throughput floor still applies.
+		if floor := sat.D * ExpectedMaxLoad(n, sat.Banks); v < floor {
+			t.Errorf("w=%d: %v below bank-drain floor %v", w, v, floor)
+		}
+	}
+}
+
+// TestPredictWindowedZeroWindow pins w <= 0 as the open-loop escape:
+// the plain superstep law with the balls-in-bins expected max load as
+// the k term, independent of netDelay.
+func TestPredictWindowedZeroWindow(t *testing.T) {
+	m := J90()
+	n := 1 << 14
+	want := m.SuperstepCost(ceilDiv(n, m.Procs), int(math.Ceil(ExpectedMaxLoad(n, m.Banks))))
+	for _, nd := range []float64{0, 50, 1000} {
+		if got := m.PredictWindowed(n, 0, nd); got != want {
+			t.Errorf("w=0 netDelay=%v: %v, want open-loop %v", nd, got, want)
+		}
+		if got := m.PredictWindowed(n, -3, nd); got != want {
+			t.Errorf("w=-3 netDelay=%v: %v, want open-loop %v", nd, got, want)
+		}
+	}
+}
+
+// TestPredictWindowedZeroNetDelay: with no wire latency the round trip
+// is just the bank sojourn, so a single-slot window costs ~sojourn per
+// request — and never less than the pure issue-rate bound g·h + L.
+func TestPredictWindowedZeroNetDelay(t *testing.T) {
+	m := J90()
+	n := 1 << 14
+	h := float64(n / m.Procs)
+	got := m.PredictWindowed(n, 1, 0)
+	want := m.ExpectedBankDelay() * h
+	if math.Abs(got-(want+m.L))/got > 0.05 {
+		t.Errorf("w=1 netDelay=0: %v, want ≈ %v", got, want+m.L)
+	}
+	if floor := m.G*h + m.L; got < floor {
+		t.Errorf("w=1 netDelay=0: %v below issue-rate floor %v", got, floor)
+	}
+}
+
 func TestPredictWindowedMatchesSimulatorShape(t *testing.T) {
 	// Cross-check against the event simulator: window=1 with latency
 	// must land within 25% of the queueing-model prediction. (The

@@ -264,9 +264,15 @@ func All() []Experiment {
 	}
 }
 
-// Lookup returns the experiment with the given ID.
+// Lookup returns the experiment with the given ID, searching the main
+// registry and the huge-grid registry.
 func Lookup(id string) (Experiment, bool) {
 	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	for _, e := range Huge() {
 		if e.ID == id {
 			return e, true
 		}

@@ -1,0 +1,92 @@
+// The huge-grid family: sweeps sized beyond what event simulation can
+// serve interactively, built to run under the runner's surrogate
+// routing (`dxbench -surrogate auto`). They live in their own Huge()
+// registry so `dxbench -all` and the CI tiers keep their existing cost;
+// Lookup finds them by ID like any other experiment.
+
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/patterns"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/sim"
+	"dxbsp/internal/tablefmt"
+)
+
+// Huge returns the experiments excluded from All() because their
+// production scale is not event-simulatable interactively. Run them
+// with surrogate routing enabled; cells answered by the closed form are
+// marked with a trailing '*'.
+func Huge() []Experiment {
+	return []Experiment{expF14()}
+}
+
+// expF14 scales the F6 scatter study to modern machine sizes: processor
+// counts to 4096 and expansions to 64, with the request count growing
+// with the machine (64 requests per processor). At the top corner one
+// point alone is a quarter-million-request simulation; under
+// `-surrogate auto` the large points route to the closed form (marked
+// '*') while the small ones keep the simulator's exact answer, so the
+// grid stays interactive end to end.
+func expF14() Experiment {
+	ps := []int{64, 256, 1024, 4096}
+	xs := []int{1, 4, 16, 64}
+	reqsPerProc := 64
+	return sweep("F14", "Huge scatter grid (surrogate-routable)",
+		func(cfg Config) *tablefmt.Table {
+			cols := []string{"p"}
+			for _, x := range hugeXs(cfg, xs) {
+				cols = append(cols, fmt.Sprintf("x=%d", x))
+			}
+			return tablefmt.New(
+				"F14: random scatter at scale (d=6, g=1, cycles/element; '*' = closed-form surrogate)",
+				cols...)
+		},
+		func(cfg Config) []Point {
+			gps := ps
+			if cfg.Quick {
+				gps = []int{8, 16}
+			}
+			var pts []Point
+			for _, p := range gps {
+				p := p
+				pts = append(pts, newPoint(fmt.Sprintf("p=%d", p), func(ctx context.Context, cfg Config) (tableRows, error) {
+					n := p * reqsPerProc
+					if cfg.Quick {
+						n = p * 16
+					}
+					row := []interface{}{p}
+					for _, x := range hugeXs(cfg, xs) {
+						m := core.Machine{Name: "huge", Procs: p, Banks: p * x, D: 6, G: 1, L: 16}
+						// Per-point seed: points are independent, so each draws
+						// its own stream instead of splitting a shared one.
+						g := rng.New(cfg.Seed ^ (uint64(p)<<32 | uint64(x)))
+						pt := core.NewPattern(patterns.Uniform(n, 1<<40, g), p)
+						r, err := cfg.RunSim(ctx, sim.Config{Machine: m}, pt)
+						if err != nil {
+							return nil, err
+						}
+						cpe := core.CyclesPerElement(r.Cycles, n, p)
+						if r.Analytic {
+							row = append(row, fmt.Sprintf("%.3f*", cpe))
+						} else {
+							row = append(row, fmt.Sprintf("%.3f", cpe))
+						}
+					}
+					return tableRows{row}, nil
+				}))
+			}
+			return pts
+		})
+}
+
+func hugeXs(cfg Config, xs []int) []int {
+	if cfg.Quick {
+		return []int{1, 4}
+	}
+	return xs
+}

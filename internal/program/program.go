@@ -16,6 +16,7 @@ import (
 	"dxbsp/internal/patterns"
 	"dxbsp/internal/rng"
 	"dxbsp/internal/sim"
+	"dxbsp/internal/surrogate"
 )
 
 // PatternSpec declares how to generate one superstep's address stream.
@@ -133,6 +134,10 @@ type StepCost struct {
 	DXBSP    float64
 	DXLogP   float64
 	Sim      float64 // 0 unless simulation requested
+	// Surrogate is the closed-form queueing surrogate's prediction
+	// (internal/surrogate), on the same completion-plus-L basis as Sim.
+	// 0 unless requested via CostWith.
+	Surrogate float64
 }
 
 // Report is the full costing.
@@ -141,12 +146,23 @@ type Report struct {
 	Steps   []StepCost
 	// Totals across repeats.
 	TotalBSP, TotalDXBSP, TotalDXLogP, TotalSim float64
+	TotalSurrogate                              float64
 }
 
 // Cost evaluates the program on machine m. If simulate is true, each
 // superstep also runs through the bank simulator. The per-message
 // overhead o parameterizes the (d,x)-LogP column.
 func Cost(p Program, m core.Machine, o float64, simulate bool) (Report, error) {
+	return CostWith(p, m, o, simulate, false)
+}
+
+// CostWith is Cost with the closed-form surrogate as an additional
+// column: when surr is true every memory superstep is also predicted by
+// internal/surrogate.Predict, directly comparable to the simulated
+// column (and to it alone — the BSP-family columns cost a whole
+// superstep including synchronization structure, while Sim and
+// Surrogate cost the bulk access).
+func CostWith(p Program, m core.Machine, o float64, simulate, surr bool) (Report, error) {
 	if err := m.Validate(); err != nil {
 		return Report{}, err
 	}
@@ -181,6 +197,13 @@ func Cost(p Program, m core.Machine, o float64, simulate bool) (Report, error) {
 				}
 				sc.Sim = r.Cycles + m.L
 			}
+			if surr {
+				r, err := surrogate.Predict(sim.Config{Machine: m}, pt)
+				if err != nil {
+					return Report{}, fmt.Errorf("superstep %q: %w", sc.Name, err)
+				}
+				sc.Surrogate = r.Cycles + m.L
+			}
 		}
 		sc.BSP += st.ComputePerProc
 		sc.DXBSP += st.ComputePerProc
@@ -188,11 +211,15 @@ func Cost(p Program, m core.Machine, o float64, simulate bool) (Report, error) {
 		if simulate {
 			sc.Sim += st.ComputePerProc
 		}
+		if surr {
+			sc.Surrogate += st.ComputePerProc
+		}
 		rep.Steps = append(rep.Steps, sc)
 		rep.TotalBSP += sc.BSP * float64(repeat)
 		rep.TotalDXBSP += sc.DXBSP * float64(repeat)
 		rep.TotalDXLogP += sc.DXLogP * float64(repeat)
 		rep.TotalSim += sc.Sim * float64(repeat)
+		rep.TotalSurrogate += sc.Surrogate * float64(repeat)
 	}
 	return rep, nil
 }

@@ -1,6 +1,7 @@
 package program
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -143,5 +144,41 @@ func TestCostDeterministic(t *testing.T) {
 	}
 	if a.TotalDXBSP != b.TotalDXBSP || a.TotalDXLogP != b.TotalDXLogP {
 		t.Error("costing not deterministic")
+	}
+}
+
+// TestCostWithSurrogate: the surrogate column fills for memory steps,
+// carries compute, and tracks the simulated column within the pinned
+// envelope for the standard workload shapes.
+func TestCostWithSurrogate(t *testing.T) {
+	p := Program{Name: "s", Supersteps: []Superstep{
+		{Name: "hot", Pattern: PatternSpec{Kind: "contention", N: 4096, K: 512}},
+		{Name: "calc", ComputePerProc: 100},
+	}}
+	m := core.J90()
+	rep, err := CostWith(p, m, 0, true, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := rep.Steps[0]
+	if hot.Surrogate <= 0 {
+		t.Fatal("surrogate column empty for memory superstep")
+	}
+	if rel := math.Abs(hot.Surrogate-hot.Sim) / hot.Sim; rel > 0.25 {
+		t.Errorf("surrogate %v vs sim %v: rel err %.3f", hot.Surrogate, hot.Sim, rel)
+	}
+	if calc := rep.Steps[1]; calc.Surrogate != 100 {
+		t.Errorf("compute-only surrogate = %v, want 100", calc.Surrogate)
+	}
+	if rep.TotalSurrogate <= 0 {
+		t.Error("total surrogate empty")
+	}
+	// Cost (no surrogate) leaves the column zero.
+	rep2, err := Cost(p, m, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Steps[0].Surrogate != 0 || rep2.TotalSurrogate != 0 {
+		t.Error("surrogate column filled without being requested")
 	}
 }

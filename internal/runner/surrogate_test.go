@@ -1,0 +1,169 @@
+package runner
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"dxbsp/internal/core"
+	"dxbsp/internal/experiments"
+	"dxbsp/internal/patterns"
+	"dxbsp/internal/rng"
+	"dxbsp/internal/sim"
+)
+
+func TestParseSurrogateMode(t *testing.T) {
+	for in, want := range map[string]SurrogateMode{
+		"": SurrogateNever, "never": SurrogateNever,
+		"auto": SurrogateAuto, "always": SurrogateAlways,
+	} {
+		got, err := ParseSurrogateMode(in)
+		if err != nil || got != want {
+			t.Errorf("ParseSurrogateMode(%q) = %v, %v; want %v", in, got, err, want)
+		}
+		if in != "" && got.String() != in {
+			t.Errorf("String() = %q, want %q", got.String(), in)
+		}
+	}
+	if _, err := ParseSurrogateMode("sometimes"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func surrogateTestInputs(n int) (sim.Config, core.Pattern) {
+	m := core.Machine{Name: "t", Procs: 4, Banks: 64, D: 6, G: 1, L: 16}
+	addrs := patterns.Uniform(n, 1<<20, rng.New(3))
+	return sim.Config{Machine: m}, core.NewPattern(addrs, m.Procs)
+}
+
+// countingRunner counts delegated simulations.
+type countingRunner struct{ calls int }
+
+func (c *countingRunner) RunSim(ctx context.Context, cfg sim.Config, pt core.Pattern) (sim.Result, error) {
+	c.calls++
+	return sim.RunContext(ctx, cfg, pt)
+}
+
+func TestSurrogateRouterModes(t *testing.T) {
+	cfg, pt := surrogateTestInputs(256)
+	ctx := context.Background()
+
+	// never: always delegates.
+	next := &countingRunner{}
+	router := &surrogateRouter{policy: SurrogateRouting{Mode: SurrogateNever}, next: next}
+	res, err := router.RunSim(ctx, cfg, pt)
+	if err != nil || res.Analytic || next.calls != 1 {
+		t.Fatalf("never: res.Analytic=%v calls=%d err=%v", res.Analytic, next.calls, err)
+	}
+
+	// always: eligible points come back analytic without touching next.
+	next = &countingRunner{}
+	router = &surrogateRouter{policy: SurrogateRouting{Mode: SurrogateAlways}, next: next}
+	res, err = router.RunSim(ctx, cfg, pt)
+	if err != nil || !res.Analytic || next.calls != 0 {
+		t.Fatalf("always: res.Analytic=%v calls=%d err=%v", res.Analytic, next.calls, err)
+	}
+
+	// always + ineligible discipline: falls through to the simulator.
+	dram := cfg
+	dram.Bank = sim.BankConfig{Discipline: sim.DRAM}
+	res, err = router.RunSim(ctx, dram, pt)
+	if err != nil || res.Analytic || next.calls != 1 {
+		t.Fatalf("always/ineligible: res.Analytic=%v calls=%d err=%v", res.Analytic, next.calls, err)
+	}
+
+	// auto: threshold splits small from large.
+	next = &countingRunner{}
+	router = &surrogateRouter{policy: SurrogateRouting{Mode: SurrogateAuto, Threshold: 1024}, next: next}
+	if res, _ := router.RunSim(ctx, cfg, pt); res.Analytic || next.calls != 1 {
+		t.Fatalf("auto/small: routed below threshold")
+	}
+	bigCfg, bigPt := surrogateTestInputs(1024)
+	if res, _ := router.RunSim(ctx, bigCfg, bigPt); !res.Analytic || next.calls != 1 {
+		t.Fatalf("auto/large: not routed at threshold")
+	}
+
+	// nil next delegates straight to the engine.
+	router = &surrogateRouter{policy: SurrogateRouting{Mode: SurrogateNever}}
+	if res, err := router.RunSim(ctx, cfg, pt); err != nil || res.Cycles <= 0 {
+		t.Fatalf("nil next: %v %v", res.Cycles, err)
+	}
+}
+
+// TestObserveSurrogateMetrics pins the conditional-registration contract:
+// a run with no surrogate routing exports exactly the pre-router series
+// set, and routed runs add deduplicated dxbsp_surrogate_* series.
+func TestObserveSurrogateMetrics(t *testing.T) {
+	o := NewObserver()
+	for _, s := range o.Snapshot(true) {
+		if strings.HasPrefix(s.Name, "dxbsp_surrogate") {
+			t.Fatalf("surrogate series %s present with no routed points", s.Name)
+		}
+	}
+
+	cfg, pt := surrogateTestInputs(256)
+	o.ObserveSurrogate(cfg, pt, 0.17)
+	o.ObserveSurrogate(cfg, pt, 0.17) // re-execution dedupes
+	cfg2, pt2 := surrogateTestInputs(512)
+	o.ObserveSurrogate(cfg2, pt2, 0.23)
+
+	var points, bound float64
+	seen := map[string]bool{}
+	for _, s := range o.Snapshot(true) {
+		seen[s.Name] = true
+		switch s.Name {
+		case "dxbsp_surrogate_points":
+			points = s.Value
+		case "dxbsp_surrogate_maxrelerr":
+			bound = s.Value
+		}
+	}
+	if !seen["dxbsp_surrogate_points"] || !seen["dxbsp_surrogate_maxrelerr"] {
+		t.Fatalf("surrogate series missing after routing: %v", seen)
+	}
+	if points != 2 {
+		t.Errorf("surrogate points = %v, want 2 (dedup by content key)", points)
+	}
+	if bound != 0.23 {
+		t.Errorf("maxrelerr = %v, want 0.23", bound)
+	}
+}
+
+// TestRunnerSurrogateExperiment runs a real experiment through the
+// composed chain with Mode=always and checks the routed results skip
+// the cache (no entries) while the output stays assembled normally.
+func TestRunnerSurrogateExperiment(t *testing.T) {
+	cache := NewCache()
+	obs := NewObserver()
+	r := &Runner{Parallel: 2, Cache: cache, Metrics: obs,
+		Surrogate: SurrogateRouting{Mode: SurrogateAlways}}
+	exps := experiments.Huge()
+	if len(exps) == 0 {
+		t.Fatal("no huge experiments registered")
+	}
+	res, err := r.RunExperiment(context.Background(), exps[0], experiments.QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Points == 0 {
+		t.Fatal("no points executed")
+	}
+	cs := cache.Stats()
+	if cs.Misses != 0 || cs.Hits != 0 {
+		t.Errorf("routed points touched the cache: %+v", cs)
+	}
+	var sb strings.Builder
+	res.Output.Render(&sb)
+	if !strings.Contains(sb.String(), "*") {
+		t.Errorf("no surrogate-tagged cells in output:\n%s", sb.String())
+	}
+	found := false
+	for _, s := range obs.Snapshot(false) {
+		if s.Name == "dxbsp_surrogate_points" && s.Value > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("dxbsp_surrogate_points not exported after routed experiment")
+	}
+}

@@ -1,0 +1,82 @@
+// The analytic max-bank-load model: the max k_j term of the cost law
+// without a pattern in hand. core.ExpectedMaxLoad supplies the
+// expectation; the Raghavan–Spencer/Chernoff machinery here adds the
+// high-probability tail the QRQW emulation theorems use, so callers can
+// budget for the load a hashed pattern will *almost surely* not exceed
+// rather than only its mean.
+
+package surrogate
+
+import (
+	"math"
+
+	"dxbsp/internal/core"
+)
+
+// MaxLoadStats summarizes the analytic distribution of the maximum
+// bank load for a hashed access pattern.
+type MaxLoadStats struct {
+	// Expected is E[max_j k_j] under uniform hashing of distinct
+	// locations (core.ExpectedMaxLoad), floored by the contention at the
+	// hottest single location, which no bank map can split.
+	Expected float64
+	// Tail is a Raghavan–Spencer/Chernoff-style upper bound: with
+	// probability >= 1 - tailEps, no bank's load exceeds Tail.
+	Tail float64
+}
+
+// tailEps is the exceedance probability the Tail bound is computed at.
+// 1e-3 matches the "with high probability" constant the QRQW emulation
+// theorems instantiate for polynomial-size problems.
+const tailEps = 1e-3
+
+// MaxLoad returns the analytic max-bank-load statistics for n requests
+// over b banks with maximum per-location contention maxLoc. maxLoc <= 1
+// means all-distinct locations; co-located requests always share a bank,
+// so both the expectation and the tail are floored by maxLoc.
+func MaxLoad(n, b, maxLoc int) MaxLoadStats {
+	if n <= 0 || b <= 0 {
+		return MaxLoadStats{}
+	}
+	if maxLoc < 1 {
+		maxLoc = 1
+	}
+	if maxLoc > n {
+		maxLoc = n
+	}
+	exp := core.ExpectedMaxLoad(n, b)
+	if f := float64(maxLoc); f > exp {
+		exp = f
+	}
+	tail := chernoffMaxLoad(n, b)
+	if f := float64(maxLoc); f > tail {
+		tail = f
+	}
+	if tail < exp {
+		tail = exp
+	}
+	return MaxLoadStats{Expected: exp, Tail: tail}
+}
+
+// chernoffMaxLoad returns the smallest k such that
+// b · P(Binomial(n, 1/b) >= k) <= tailEps by the Chernoff bound
+// P(X >= k) <= exp(-μ) (eμ/k)^k for k > μ — the bound Raghavan and
+// Spencer's integer-rounding argument instantiates, and the one the
+// QRQW papers use for the max-contention term. The walk starts just
+// above the mean and the bound is monotone decreasing there, so the
+// first crossing is the answer.
+func chernoffMaxLoad(n, b int) float64 {
+	mu := float64(n) / float64(b)
+	budget := math.Log(tailEps) - math.Log(float64(b)) // ln(eps/b)
+	k := math.Floor(mu) + 1
+	for {
+		// ln P(X >= k) <= -mu + k + k·ln(mu/k)
+		lp := -mu + k + k*math.Log(mu/k)
+		if lp <= budget {
+			return k
+		}
+		// Step proportionally for huge means so the walk stays O(polylog).
+		step := math.Ceil(k / 1024)
+		k += step
+	}
+}
