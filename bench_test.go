@@ -549,6 +549,61 @@ func BenchmarkBatchExpansion(b *testing.B) {
 	b.ReportMetric(scalarPerPoint/(batchSec/points), "xscalar")
 }
 
+// BenchmarkBatchExpansionWindowed is the headline number for windowed
+// lockstep batching: the same 16-lane expansion grid as
+// BenchmarkBatchExpansion but closed-loop (Window 8, the F2/F3-style
+// x-sweep shape), so every lane runs the windowed fast path — lockstep
+// until its window fills, then the per-lane replay. Metrics as above;
+// CI gates xscalar >= 2 (the replay is per-lane, so the shared-walk
+// share of the win is smaller than open loop's).
+func BenchmarkBatchExpansionWindowed(b *testing.B) {
+	var cfgs []sim.Config
+	for _, x := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		for _, d := range []float64{6, 14} {
+			cfgs = append(cfgs, sim.Config{
+				Machine: core.Machine{Name: "bench", Procs: 8, Banks: 8 * x, D: d, G: 1, L: 4},
+				Window:  8,
+			})
+		}
+	}
+	rg := rng.New(17)
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = rg.Uint64n(1 << 30)
+	}
+	pt := core.NewPattern(addrs, 8)
+	ctx := context.Background()
+
+	eng := sim.AcquireBatchEngine()
+	defer sim.ReleaseBatchEngine(eng)
+	if _, err := eng.Run(ctx, cfgs, pt); err != nil { // warm the arenas
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(ctx, cfgs, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	batchSec := time.Since(start).Seconds()
+	b.StopTimer()
+
+	scalarStart := time.Now()
+	for _, cfg := range cfgs {
+		if _, err := sim.Run(cfg, pt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	scalarSec := time.Since(scalarStart).Seconds()
+
+	points := float64(len(cfgs)) * float64(b.N)
+	b.ReportMetric(points/batchSec, "points/sec")
+	scalarPerPoint := scalarSec / float64(len(cfgs))
+	b.ReportMetric(scalarPerPoint/(batchSec/points), "xscalar")
+}
+
 // --- Surrogate-routed huge grid -------------------------------------------
 
 // BenchmarkSurrogateGrid is the headline number for the analytic

@@ -264,6 +264,26 @@ func TestBatchByteIdentical(t *testing.T) {
 	}
 }
 
+// The flush window is a scheduling knob, not a semantic one: any
+// -batch-wait value — from flush-immediately to well past every
+// group-fill — renders output byte-identical to the unbatched baseline.
+func TestBatchWaitByteIdentical(t *testing.T) {
+	base, _, code := runBench(t, "-quick", "-experiment", "F6", "-parallel", "1")
+	if code != 0 {
+		t.Fatalf("baseline exit %d", code)
+	}
+	for _, wait := range []string{"1ns", "200us", "50ms"} {
+		out, errOut, code := runBench(t, "-quick", "-experiment", "F6",
+			"-batch", "4", "-parallel", "4", "-batch-wait", wait)
+		if code != 0 {
+			t.Fatalf("batch-wait=%s: exit %d\nstderr:\n%s", wait, code, errOut)
+		}
+		if out != base {
+			t.Errorf("batch-wait=%s: output differs from unbatched baseline", wait)
+		}
+	}
+}
+
 // -batch composes with -resume: journaled lanes restore from the
 // checkpoint without re-execution (no cache_misses in run_done), and the
 // resumed batched output is byte-identical to the batched first run.

@@ -39,6 +39,11 @@ type Batcher struct {
 	// Next, when non-nil, runs lanes the batcher does not handle
 	// (passthrough and per-lane fallback). Nil means sim.RunContext.
 	Next experiments.SimRunner
+	// Observe, when non-nil, receives every call's batching outcome
+	// while batching is on: reason "" for lanes admitted to the
+	// lockstep fast path, otherwise the sim.BatchFallbackReason label
+	// for the forwarded call. Observer.ObserveBatchLane fits directly.
+	Observe func(cfg sim.Config, pt core.Pattern, reason string)
 
 	mu     sync.Mutex
 	groups map[string]*batchGroup
@@ -82,8 +87,17 @@ func (b *Batcher) forward(ctx context.Context, cfg sim.Config, pt core.Pattern) 
 // flushes a partial group. Ineligible calls — batching off, lockstep-
 // ineligible configs, already-cancelled contexts — forward untouched.
 func (b *Batcher) RunSim(ctx context.Context, cfg sim.Config, pt core.Pattern) (sim.Result, error) {
-	if b.K <= 1 || !sim.BatchEligible(cfg) || ctx.Err() != nil {
+	if b.K <= 1 || ctx.Err() != nil {
 		return b.forward(ctx, cfg, pt)
+	}
+	if reason := sim.BatchFallbackReason(cfg); reason != "" {
+		if b.Observe != nil {
+			b.Observe(cfg, pt, reason)
+		}
+		return b.forward(ctx, cfg, pt)
+	}
+	if b.Observe != nil {
+		b.Observe(cfg, pt, "")
 	}
 
 	lane := &batchLane{ctx: ctx, cfg: cfg, done: make(chan struct{})}

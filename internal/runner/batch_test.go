@@ -3,6 +3,7 @@ package runner
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -159,6 +160,57 @@ func TestBatcherLaneFaultIsolation(t *testing.T) {
 	}
 	if resB != want {
 		t.Errorf("lane B perturbed by sibling fault: %+v != %+v", resB, want)
+	}
+}
+
+// TestBatcherEfficacyCounters pins the batch observability contract:
+// lanes reported through Observer.ObserveBatchLane export SimKey-deduped
+// fast/fallback counters with per-reason labels, re-submissions do not
+// double-count, and an observer that never saw batching exports no batch
+// series at all — so metrics goldens without -batch stay byte-identical.
+func TestBatcherEfficacyCounters(t *testing.T) {
+	pt := batcherTestPattern(256)
+	o := NewObserver()
+	b := NewBatcher(2)
+	b.Window = time.Millisecond
+	b.Observe = o.ObserveBatchLane
+
+	fast1 := batcherTestConfig(2, 4)
+	fast2 := batcherTestConfig(2, 4)
+	fast2.Window = 4 // windowed lanes are fast-path now
+	gpu := batcherTestConfig(2, 4)
+	gpu.Bank = sim.BankConfig{Discipline: sim.GPUShared}
+	grouped := batcherTestConfig(2, 4)
+	grouped.Bank = sim.BankConfig{Discipline: sim.DRAM, Groups: 2}
+
+	run := func() {
+		var wg sync.WaitGroup
+		for _, cfg := range []sim.Config{fast1, fast2, gpu, grouped} {
+			wg.Add(1)
+			go func(cfg sim.Config) {
+				defer wg.Done()
+				if _, err := b.RunSim(context.Background(), cfg, pt); err != nil {
+					t.Error(err)
+				}
+			}(cfg)
+		}
+		wg.Wait()
+	}
+	run()
+	run() // resubmission: SimKey dedup must keep every counter unchanged
+
+	out := omExport(t, o)
+	for _, want := range []string{
+		"dxbsp_batch_fast_lanes_total 2",
+		`dxbsp_batch_fallback_lanes_total{reason="gpu-shared"} 1`,
+		`dxbsp_batch_fallback_lanes_total{reason="dram-groups"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(omExport(t, NewObserver()), "dxbsp_batch") {
+		t.Error("observer without batching exported batch series")
 	}
 }
 

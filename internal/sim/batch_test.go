@@ -9,26 +9,36 @@ import (
 	"dxbsp/internal/rng"
 )
 
-// batchGoldenConfigs builds the 128-config golden grid: all four bank
-// disciplines × expansion x ∈ {1,2,4,8} × d ∈ {2,6,14,30} × g ∈ {1,2},
-// the lane axes the batch engine varies (d, x, g) crossed with every
-// discipline so both the lockstep fast path (FIFO) and the scalar
-// fallback lanes (DRAM, Regulated, GPUShared) are exercised in one batch.
+// batchGoldenConfigs builds the 128-config golden grid: eight
+// discipline/window variants × expansion x ∈ {1,8} × d ∈ {2,6,14,30} ×
+// g ∈ {1,2}, the lane axes the batch engine varies crossed with every
+// lockstep class — open- and closed-loop FIFO (including a Window=1
+// lane that stalls almost immediately), eligible and ineligible DRAM,
+// windowed Regulated — plus the structural scalar fallbacks (multi-row
+// DRAM, GPUShared), with ragged windows across the batch.
 func batchGoldenConfigs() []Config {
-	discs := []BankConfig{
-		{},
-		{Discipline: DRAM, CacheLines: 2, HitDelay: 1, MissDelay: 8, RowWords: 32},
-		{Discipline: Regulated, RegWindow: 16, RegBudget: 2},
-		{Discipline: GPUShared, WarpSize: 8},
+	variants := []struct {
+		bank   BankConfig
+		window int
+	}{
+		{BankConfig{}, 0},
+		{BankConfig{}, 4},
+		{BankConfig{}, 1},
+		{BankConfig{Discipline: DRAM, HitDelay: 1, MissDelay: 8, RowWords: 32}, 0},
+		{BankConfig{Discipline: DRAM, HitDelay: 2, MissDelay: 12, RowWords: 16}, 6},
+		{BankConfig{Discipline: DRAM, CacheLines: 2, HitDelay: 1, MissDelay: 8, RowWords: 32}, 0},
+		{BankConfig{Discipline: Regulated, RegWindow: 16, RegBudget: 2}, 3},
+		{BankConfig{Discipline: GPUShared, WarpSize: 8}, 0},
 	}
 	var cfgs []Config
-	for _, bank := range discs {
-		for _, x := range []int{1, 2, 4, 8} {
+	for _, v := range variants {
+		for _, x := range []int{1, 8} {
 			for _, d := range []float64{2, 6, 14, 30} {
 				for _, g := range []float64{1, 2} {
 					cfgs = append(cfgs, Config{
 						Machine: core.Machine{Name: "golden", Procs: 8, Banks: 8 * x, D: d, G: g, L: 4},
-						Bank:    bank,
+						Bank:    v.bank,
+						Window:  v.window,
 					})
 				}
 			}
@@ -76,8 +86,8 @@ func TestBatchMatchesScalarGolden128(t *testing.T) {
 				i, cfg.Bank.Discipline, cfg.Machine.Banks/8, cfg.Machine.D, cfg.Machine.G, got[i], want)
 		}
 	}
-	if fast != 32 {
-		t.Fatalf("golden grid has %d fast-path lanes, want the 32 FIFO lanes", fast)
+	if fast != 96 {
+		t.Fatalf("golden grid has %d fast-path lanes, want 96 (six of the eight variants)", fast)
 	}
 }
 
@@ -201,11 +211,19 @@ func TestBatchEngineReuseZeroAllocs(t *testing.T) {
 	mk := func(banks int, d float64, bank BankConfig) Config {
 		return Config{Machine: core.Machine{Name: "z", Procs: 8, Banks: banks, D: d, G: 1, L: 2}, Bank: bank}
 	}
+	mkw := func(banks int, d float64, window int, bank BankConfig) Config {
+		c := mk(banks, d, bank)
+		c.Window = window
+		return c
+	}
 	// Three shapes cycled per run: full mixed batch, a shrunk all-FIFO
 	// prefix, and the full batch again (grow). Lane slots keep a stable
 	// discipline so the per-slot default-map caches stay warm, while the
 	// embedded scalar engine flips FIFO→DRAM→Regulated→GPU within every
-	// full batch — the discipline-change Reset path.
+	// full batch — the discipline-change Reset path. The windowed lanes
+	// (tight FIFO and DRAM windows that stall into the per-lane replay,
+	// a windowed Regulated lane) pin the closed-loop arenas — completion
+	// heaps, dequeue rings, replay scratch — as retained too.
 	full := []Config{
 		mk(16, 2, BankConfig{}),
 		mk(32, 6, BankConfig{}),
@@ -215,6 +233,9 @@ func TestBatchEngineReuseZeroAllocs(t *testing.T) {
 		mk(16, 4, BankConfig{Discipline: Regulated, RegWindow: 16, RegBudget: 2}),
 		mk(16, 4, BankConfig{Discipline: GPUShared, WarpSize: 8}),
 		mk(128, 6, BankConfig{}),
+		mkw(16, 6, 2, BankConfig{}),
+		mkw(8, 12, 1, BankConfig{Discipline: DRAM, CacheLines: 1, HitDelay: 1, MissDelay: 12}),
+		mkw(16, 4, 3, BankConfig{Discipline: Regulated, RegWindow: 16, RegBudget: 2}),
 	}
 	shrunk := full[:4]
 

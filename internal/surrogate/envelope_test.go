@@ -1,6 +1,7 @@
 package surrogate
 
 import (
+	"bytes"
 	"flag"
 	"math"
 	"os"
@@ -51,6 +52,14 @@ func TestEnvelopePin(t *testing.T) {
 			t.Fatalf("write docs table: %v", err)
 		}
 		t.Logf("re-pinned %d points across %d regimes", env.Points, len(env.Regimes))
+	}
+
+	// The batch-routed measurement must reproduce the committed pin file
+	// bit for bit: lockstep lanes are byte-identical to solo runs, so
+	// routing the sweep through sim.RunBatch changes nothing — not even
+	// the last ulp of a summarized float.
+	if !*update && !bytes.Equal(env.MarshalCanonical(), pinnedJSON) {
+		t.Errorf("measured envelope differs byte-for-byte from testdata/envelope.json")
 	}
 
 	pin := Pinned()
